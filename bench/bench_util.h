@@ -1,0 +1,34 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.h"
+
+namespace muzha::bench {
+
+inline constexpr TcpVariant kPaperVariants[] = {
+    TcpVariant::kMuzha, TcpVariant::kNewReno, TcpVariant::kSack,
+    TcpVariant::kVegas};
+
+// Single flow over an h-hop chain (Simulation 1 & 2 setup).
+inline ExperimentConfig chain_single_flow(TcpVariant v, int hops, int window,
+                                          double duration_s,
+                                          std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kChain;
+  cfg.hops = hops;
+  cfg.duration = SimTime::from_seconds(duration_s);
+  cfg.seed = seed;
+  cfg.flows.push_back({v, 0, static_cast<std::size_t>(hops),
+                       SimTime::zero(), window});
+  return cfg;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace muzha::bench

@@ -1,0 +1,46 @@
+// Single-bit vs multi-level router feedback (the paper's Sec. 3.2 / 4.6
+// argument: "ECN ... can be viewed as an extreme case of multi-level DRAI.
+// But this approach is too brief for sender to gain further network
+// status").
+//
+// Compares, over chains of growing length: plain NewReno (no router help),
+// NewReno + RED/ECN (single-bit marks), and TCP Muzha (5-level DRAI).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace muzha;
+  using namespace muzha::bench;
+
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int seeds = quick ? 1 : 3;
+  std::vector<int> hop_counts = quick ? std::vector<int>{4}
+                                      : std::vector<int>{4, 8, 16};
+  const TcpVariant contenders[] = {
+      TcpVariant::kNewReno, TcpVariant::kNewRenoEcn, TcpVariant::kMuzha};
+
+  std::printf("=== Feedback granularity: none vs 1-bit ECN vs 5-level DRAI "
+              "(kbps / retx) ===\n%-8s", "hops");
+  for (TcpVariant v : contenders) std::printf("%22s", variant_name(v));
+  std::printf("\n");
+
+  for (int hops : hop_counts) {
+    std::printf("%-8d", hops);
+    for (TcpVariant v : contenders) {
+      double thr = 0, retx = 0;
+      for (int s = 0; s < seeds; ++s) {
+        auto res =
+            run_experiment(chain_single_flow(v, hops, 32, 30.0, 1 + s));
+        thr += res.flows[0].throughput_bps / 1e3 / seeds;
+        retx += static_cast<double>(res.flows[0].retransmissions) / seeds;
+      }
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.1f / %.0f", thr, retx);
+      std::printf("%22s", cell);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 5.2-5.7: congestion-window evolution of each variant over 4-, 8-
+// and 16-hop chains (Simulation 1). Two views per figure pair: the full
+// 0-10 s run (sampled every 100 ms) and the 0-2 s start-up detail (sampled
+// every 25 ms).
+//
+// Paper shape to reproduce: Muzha rises promptly and stabilizes (with some
+// vibration) and holds its window through random loss; Vegas sits flat and
+// low; NewReno/SACK saw-tooth hard and collapse repeatedly.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void print_trace(const char* label, const muzha::TimeSeries& trace,
+                 double t_end_s, double step_s) {
+  std::printf("%s t_s:", label);
+  muzha::CwndTracer stepper;  // reuse step interpolation via a local copy
+  (void)stepper;
+  // Step-interpolate the change-event series onto a regular grid.
+  std::size_t idx = 0;
+  double v = 0.0;
+  for (double t = 0.0; t <= t_end_s + 1e-9; t += step_s) {
+    while (idx < trace.size() && trace[idx].t_s <= t) {
+      v = trace[idx].value;
+      ++idx;
+    }
+    std::printf(" %.1f", v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace muzha;
+  using namespace muzha::bench;
+
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::vector<int> hop_counts = quick ? std::vector<int>{4}
+                                      : std::vector<int>{4, 8, 16};
+  const int window = 32;  // let the variants show their window dynamics
+  const double duration_s = 10.0;
+
+  for (int hops : hop_counts) {
+    int fig = hops == 4 ? 2 : (hops == 8 ? 4 : 6);
+    std::printf("\n=== Fig 5.%d/5.%d: CWND vs time, %d-hop chain ===\n", fig,
+                fig + 1, hops);
+    for (TcpVariant v : kPaperVariants) {
+      auto res = run_experiment(
+          chain_single_flow(v, hops, window, duration_s, /*seed=*/1));
+      const FlowResult& f = res.flows[0];
+      char label[64];
+      std::snprintf(label, sizeof(label), "%-8s [0-10s]", variant_name(v));
+      print_trace(label, f.cwnd_trace, duration_s, 0.1);
+      std::snprintf(label, sizeof(label), "%-8s [0-2s] ", variant_name(v));
+      print_trace(label, f.cwnd_trace, 2.0, 0.025);
+      std::printf("%-8s summary: thr=%.1f kbps retx=%llu timeouts=%llu\n",
+                  variant_name(v), f.throughput_bps / 1e3,
+                  static_cast<unsigned long long>(f.retransmissions),
+                  static_cast<unsigned long long>(f.timeouts));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Simulator micro-benchmarks (google-benchmark): event scheduling costs,
+// channel fan-out, MAC exchange rate, and whole-stack simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "scenario/experiment.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace muzha;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    long sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(SimTime::from_ns(i * 100), [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerCancelHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(sched.schedule_at(SimTime::from_ns(i * 10), [] {}));
+    }
+    for (int i = 0; i < n; i += 2) sched.cancel(ids[i]);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerCancelHalf)->Arg(4096);
+
+// One simulated second of a saturated chain, whole stack (PHY+MAC+AODV+TCP).
+void BM_ChainSimulatedSecond(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cfg = bench::chain_single_flow(TcpVariant::kNewReno, hops, 32,
+                                        /*duration_s=*/1.0, /*seed=*/1);
+    auto res = run_experiment(cfg);
+    benchmark::DoNotOptimize(res.flows[0].delivered);
+  }
+}
+BENCHMARK(BM_ChainSimulatedSecond)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Muzha-specific: full router-assist path enabled.
+void BM_MuzhaChainSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = bench::chain_single_flow(TcpVariant::kMuzha, 8, 32, 1.0, 1);
+    auto res = run_experiment(cfg);
+    benchmark::DoNotOptimize(res.flows[0].delivered);
+  }
+}
+BENCHMARK(BM_MuzhaChainSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

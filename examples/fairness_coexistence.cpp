@@ -1,0 +1,57 @@
+// Fairness / coexistence demo (Simulation 3A of the paper).
+//
+// Two flows cross at the centre of a 9-node cross topology (Fig 5.15). The
+// paper's point: a Reno-style competitor starves TCP Vegas, while TCP Muzha
+// shares with TCP NewReno because router DRAI feedback tells it to back off
+// before it hogs the medium.
+//
+// Usage: fairness_coexistence [hops(even)] [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/experiment.h"
+#include "stats/fairness.h"
+
+namespace {
+
+void run_pair(muzha::TcpVariant a, muzha::TcpVariant b, int hops,
+              double seconds) {
+  using namespace muzha;
+  double thr[2] = {0, 0};
+  const int seeds = 5;
+  for (int s = 1; s <= seeds; ++s) {
+    ExperimentConfig cfg;
+    cfg.topology = TopologyKind::kCross;
+    cfg.hops = hops;
+    cfg.duration = SimTime::from_seconds(seconds);
+    cfg.seed = static_cast<std::uint64_t>(s);
+    cfg.flows.push_back(
+        {a, 0, static_cast<std::size_t>(hops), SimTime::zero(), 32});
+    cfg.flows.push_back({b, static_cast<std::size_t>(hops) + 1,
+                         static_cast<std::size_t>(2 * hops), SimTime::zero(),
+                         32});
+    auto res = run_experiment(cfg);
+    thr[0] += res.flows[0].throughput_bps / 1e3 / seeds;
+    thr[1] += res.flows[1].throughput_bps / 1e3 / seeds;
+  }
+  std::printf("%-8s vs %-8s : %8.1f vs %8.1f kbps   (Jain index %.3f)\n",
+              variant_name(a), variant_name(b), thr[0], thr[1],
+              jain_fairness_index(thr));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int hops = argc > 1 ? std::atoi(argv[1]) : 4;
+  double seconds = argc > 2 ? std::atof(argv[2]) : 50.0;
+
+  std::printf("Two crossing flows, %d-hop cross topology, %.0f s, "
+              "5-seed average\n\n", hops, seconds);
+  run_pair(muzha::TcpVariant::kNewReno, muzha::TcpVariant::kVegas, hops,
+           seconds);
+  run_pair(muzha::TcpVariant::kNewReno, muzha::TcpVariant::kMuzha, hops,
+           seconds);
+  run_pair(muzha::TcpVariant::kMuzha, muzha::TcpVariant::kMuzha, hops,
+           seconds);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Random-loss discrimination demo (Sec. 4.7 of the paper).
+//
+// Runs TCP Muzha and TCP NewReno over the same 8-hop chain while the channel
+// randomly corrupts frames, and shows how Muzha's marked/unmarked duplicate
+// ACKs let it retransmit random losses *without* collapsing its window,
+// while NewReno treats every loss as congestion.
+//
+// Usage: random_loss_demo [loss_rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace muzha;
+
+  double loss = argc > 1 ? std::atof(argv[1]) : 0.03;
+  const int hops = 8;
+  const double seconds = 30.0;
+
+  std::printf("8-hop chain, %.0f%% uniform random frame loss, %.0f s\n\n",
+              loss * 100, seconds);
+
+  for (TcpVariant v : {TcpVariant::kMuzha, TcpVariant::kNewReno}) {
+    ExperimentConfig cfg;
+    cfg.hops = hops;
+    cfg.duration = SimTime::from_seconds(seconds);
+    cfg.seed = 11;
+    cfg.uniform_error_rate = loss;
+    cfg.flows.push_back({v, 0, hops, SimTime::zero(), 32});
+    auto res = run_experiment(cfg);
+    const FlowResult& f = res.flows[0];
+    std::printf("%s:\n", variant_name(v));
+    std::printf("  goodput         : %.1f kbps\n", f.throughput_bps / 1e3);
+    std::printf("  retransmissions : %llu\n",
+                static_cast<unsigned long long>(f.retransmissions));
+    std::printf("  timeouts        : %llu\n",
+                static_cast<unsigned long long>(f.timeouts));
+    if (v == TcpVariant::kMuzha) {
+      std::printf("  loss events     : %llu classified congestion (halved), "
+                  "%llu classified random (window kept)\n",
+                  static_cast<unsigned long long>(f.marked_loss_events),
+                  static_cast<unsigned long long>(f.unmarked_loss_events));
+    }
+    std::printf("\n");
+  }
+  std::printf("Muzha keeps its window through random loss because unmarked\n"
+              "duplicate ACKs identify the loss as non-congestion.\n");
+  return 0;
+}

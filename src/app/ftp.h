@@ -1,0 +1,29 @@
+// FTP application: an unbounded bulk transfer driving one TCP agent,
+// started at a configurable time (the paper's Simulation 3B staggers three
+// FTP flows at 0/10/20 s).
+#pragma once
+
+#include "sim/simulator.h"
+#include "tcp/tcp_agent.h"
+
+namespace muzha {
+
+class FtpApp {
+ public:
+  FtpApp(Simulator& sim, TcpAgent& agent, SimTime start_time)
+      : sim_(sim), agent_(agent), start_time_(start_time) {}
+
+  // Schedules the transfer start.
+  void install() {
+    sim_.schedule_at(start_time_, [this] { agent_.start(); });
+  }
+
+  SimTime start_time() const { return start_time_; }
+
+ private:
+  Simulator& sim_;
+  TcpAgent& agent_;
+  SimTime start_time_;
+};
+
+}  // namespace muzha

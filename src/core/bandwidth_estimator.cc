@@ -1,0 +1,57 @@
+#include "core/bandwidth_estimator.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+BandwidthEstimator::BandwidthEstimator(Simulator& sim, WirelessDevice& device,
+                                       DraiConfig cfg)
+    : sim_(sim), device_(device), cfg_(cfg) {}
+
+void BandwidthEstimator::start() {
+  if (started_) return;
+  started_ = true;
+  last_busy_total_ = device_.mac().cumulative_busy_time();
+  sim_.schedule_in(cfg_.sample_interval, [this] { sample(); });
+}
+
+void BandwidthEstimator::sample() {
+  SimTime busy_total = device_.mac().cumulative_busy_time();
+  SimTime delta = busy_total - last_busy_total_;
+  last_busy_total_ = busy_total;
+  double inst = static_cast<double>(delta.ns()) /
+                static_cast<double>(cfg_.sample_interval.ns());
+  if (inst > 1.0) inst = 1.0;
+  util_ewma_ = cfg_.util_ewma_alpha * inst +
+               (1.0 - cfg_.util_ewma_alpha) * util_ewma_;
+
+  double q = static_cast<double>(device_.queue().size());
+  double interval_s = cfg_.sample_interval.to_seconds();
+  double inst_gradient = (q - last_queue_size_) / interval_s;
+  last_queue_size_ = q;
+  gradient_ewma_ = cfg_.util_ewma_alpha * inst_gradient +
+                   (1.0 - cfg_.util_ewma_alpha) * gradient_ewma_;
+
+  sim_.schedule_in(cfg_.sample_interval, [this] { sample(); });
+}
+
+std::uint8_t BandwidthEstimator::current_drai() {
+  std::uint8_t level =
+      compute_drai(device_.queue().occupancy(), util_ewma_, cfg_);
+  if (cfg_.use_queue_gradient) {
+    // A growing queue caps the recommendation even before occupancy
+    // thresholds trip: announce congestion while it is forming.
+    if (gradient_ewma_ >= 2.0 * cfg_.gradient_stabilize_pps) {
+      level = std::min(level, kDraiModerateDecel);
+    } else if (gradient_ewma_ >= cfg_.gradient_stabilize_pps) {
+      level = std::min(level, kDraiStabilize);
+    }
+  }
+  return level;
+}
+
+bool BandwidthEstimator::should_mark() {
+  return current_drai() <= kDraiModerateDecel;
+}
+
+}  // namespace muzha

@@ -1,0 +1,46 @@
+// Per-node available-bandwidth estimator feeding the DRAI (Sec. 4.3).
+//
+// Polls the device periodically: medium utilization is the EWMA of the
+// fraction of each sample interval the 802.11 MAC sensed the medium busy;
+// queue occupancy is read instantaneously when a packet is stamped. Attach
+// one estimator per Muzha-capable node (Node::set_drai_source).
+#pragma once
+
+#include "core/drai.h"
+#include "net/agent.h"
+#include "net/wireless_device.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+
+class BandwidthEstimator final : public DraiSource {
+ public:
+  BandwidthEstimator(Simulator& sim, WirelessDevice& device,
+                     DraiConfig cfg = {});
+
+  // Begins periodic utilization sampling.
+  void start();
+
+  // DraiSource: queried by the node when stamping forwarded TCP packets.
+  std::uint8_t current_drai() override;
+  bool should_mark() override;
+
+  double utilization() const { return util_ewma_; }
+  // Queue growth rate, packets/second (EWMA); meaningful once started.
+  double queue_gradient_pps() const { return gradient_ewma_; }
+  const DraiConfig& config() const { return cfg_; }
+
+ private:
+  void sample();
+
+  Simulator& sim_;
+  WirelessDevice& device_;
+  DraiConfig cfg_;
+  double util_ewma_ = 0.0;
+  double gradient_ewma_ = 0.0;
+  double last_queue_size_ = 0.0;
+  SimTime last_busy_total_;
+  bool started_ = false;
+};
+
+}  // namespace muzha

@@ -1,0 +1,49 @@
+#include "core/drai.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+std::uint8_t drai_from_queue(double q, const DraiConfig& cfg) {
+  if (q < cfg.q_aggressive_accel) return kDraiAggressiveAccel;
+  if (q < cfg.q_moderate_accel) return kDraiModerateAccel;
+  if (q < cfg.q_stabilize) return kDraiStabilize;
+  if (q < cfg.q_moderate_decel) return kDraiModerateDecel;
+  return kDraiAggressiveDecel;
+}
+
+std::uint8_t drai_from_utilization(double u, const DraiConfig& cfg) {
+  if (u < cfg.u_aggressive_accel) return kDraiAggressiveAccel;
+  if (u < cfg.u_moderate_accel) return kDraiModerateAccel;
+  if (u < cfg.u_stabilize) return kDraiStabilize;
+  return kDraiModerateDecel;
+}
+
+std::uint8_t compute_drai(double occupancy, double utilization,
+                          const DraiConfig& cfg) {
+  return std::min(drai_from_queue(occupancy, cfg),
+                  drai_from_utilization(utilization, cfg));
+}
+
+double apply_drai_to_cwnd(std::uint8_t drai, double cwnd) {
+  switch (drai) {
+    case kDraiAggressiveAccel:
+      cwnd = cwnd * 2.0;
+      break;
+    case kDraiModerateAccel:
+      cwnd = cwnd + 1.0;
+      break;
+    case kDraiStabilize:
+      break;
+    case kDraiModerateDecel:
+      cwnd = cwnd - 1.0;
+      break;
+    case kDraiAggressiveDecel:
+    default:
+      cwnd = cwnd * 0.5;
+      break;
+  }
+  return std::max(cwnd, 1.0);
+}
+
+}  // namespace muzha

@@ -1,0 +1,58 @@
+// TCP Muzha sender — the paper's contribution (Ch. 4).
+//
+// Muzha replaces slow-start/AIMD probing with router recommendations: each
+// ACK echoes the path-minimum DRAI (the MRAI), and once per RTT the sender
+// applies the most conservative recommendation heard during that RTT
+// (Table 5.2: x2 / +1 / hold / -1 / x0.5).
+//
+// The three-phase NewReno machine collapses to two phases (Table 4.1):
+//
+//   CA (congestion avoidance) — the only steady state; sessions start here
+//     directly (no slow start) with an initial window of 2 segments.
+//   FF (fast retransmit & fast recovery) — entered on 3 duplicate ACKs.
+//     *Marked* duplicate ACKs (router congestion mark) halve CWND on entry;
+//     *unmarked* ones — random/link loss — retransmit with CWND unchanged.
+//     Partial ACKs retransmit the next hole (NewReno-style); the full ACK
+//     returns to CA with no further window change.
+//   Timeout — CWND := 1, back to CA (never slow start).
+#pragma once
+
+#include "pkt/packet.h"
+#include "tcp/tcp_agent.h"
+
+namespace muzha {
+
+class TcpMuzha : public TcpAgent {
+ public:
+  TcpMuzha(Simulator& sim, Node& node, TcpConfig cfg);
+
+  // Ablation switch: when disabled, every triple duplicate ACK is treated as
+  // congestion (marked), i.e. Sec. 4.7's random-loss discrimination is off.
+  void set_loss_discrimination(bool on) { loss_discrimination_ = on; }
+
+  // --- Observability ------------------------------------------------------
+  std::uint8_t last_epoch_mrai() const { return last_epoch_mrai_; }
+  std::uint64_t marked_loss_events() const { return marked_loss_events_; }
+  std::uint64_t unmarked_loss_events() const { return unmarked_loss_events_; }
+  std::uint64_t rate_adjustments() const { return rate_adjustments_; }
+
+ protected:
+  void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
+  void on_dup_ack(const TcpHeader& h) override;
+  void on_timeout() override;
+
+ private:
+  void end_of_epoch();
+
+  // Most conservative (minimum) MRAI heard in the current RTT epoch.
+  bool loss_discrimination_ = true;
+  std::uint8_t epoch_mrai_ = kDraiAggressiveAccel;
+  std::uint8_t last_epoch_mrai_ = kDraiAggressiveAccel;
+  std::int64_t epoch_end_seq_ = 0;
+
+  std::uint64_t marked_loss_events_ = 0;
+  std::uint64_t unmarked_loss_events_ = 0;
+  std::uint64_t rate_adjustments_ = 0;
+};
+
+}  // namespace muzha

@@ -1,0 +1,27 @@
+// IEEE 802.11 DCF timing and retry parameters (DSSS PHY, 2 Mbps).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+struct MacParams {
+  SimTime slot = SimTime::from_us(20);
+  SimTime sifs = SimTime::from_us(10);
+  SimTime difs = SimTime::from_us(50);  // SIFS + 2 * slot
+  std::uint32_t cw_min = 31;
+  std::uint32_t cw_max = 1023;
+  // Station Short Retry Count limit: RTS attempts.
+  std::uint32_t short_retry_limit = 7;
+  // Station Long Retry Count limit: DATA attempts after CTS.
+  std::uint32_t long_retry_limit = 4;
+  // Frames whose MAC payload exceeds this use RTS/CTS. 0 = always (the NS-2
+  // default the paper inherited).
+  std::uint32_t rts_threshold_bytes = 0;
+  // Guard added to CTS/ACK timeouts on top of SIFS + response airtime.
+  SimTime timeout_guard = SimTime::from_us(25);
+};
+
+}  // namespace muzha

@@ -1,0 +1,25 @@
+// Transport agent interface: anything bound to a (node, port) that receives
+// IP packets — TCP senders, TCP sinks, CBR sinks.
+#pragma once
+
+#include "pkt/packet.h"
+
+namespace muzha {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void receive(PacketPtr pkt) = 0;
+};
+
+// Provider of the local DRAI value and congestion-mark decision, implemented
+// by the Muzha bandwidth estimator (src/core). Nodes without one forward
+// packets untouched, modelling routers that do not speak Muzha.
+class DraiSource {
+ public:
+  virtual ~DraiSource() = default;
+  virtual std::uint8_t current_drai() = 0;
+  virtual bool should_mark() = 0;
+};
+
+}  // namespace muzha

@@ -1,0 +1,66 @@
+// Drop-tail interface queue (IFQ) between the network layer and the MAC.
+//
+// Table 5.1 of the paper: 50-packet drop-tail IFQ per node. Queue overflow
+// here is the "congestion loss" the paper's TCP variants react to, and its
+// occupancy is the main input to the Muzha DRAI estimator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+class DropTailQueue {
+ public:
+  struct Entry {
+    PacketPtr pkt;
+    NodeId next_hop;
+    // When the packet entered the queue; the device uses it to accumulate
+    // per-hop queueing delay into the RoVegas IP option.
+    SimTime enqueued_at;
+  };
+
+  explicit DropTailQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  double occupancy() const {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(q_.size()) /
+                                static_cast<double>(capacity_);
+  }
+
+  // Returns false (and drops the packet) when full.
+  bool enqueue(PacketPtr pkt, NodeId next_hop,
+               SimTime now = SimTime::zero()) {
+    if (q_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    q_.push_back(Entry{std::move(pkt), next_hop, now});
+    if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+    return true;
+  }
+
+  Entry dequeue() {
+    Entry e = std::move(q_.front());
+    q_.pop_front();
+    return e;
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> q_;
+  std::uint64_t drops_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace muzha

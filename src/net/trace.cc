@@ -1,0 +1,43 @@
+#include "net/trace.h"
+
+namespace muzha {
+
+const char* trace_event_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kLocalSend:
+      return "send";
+    case TraceEventKind::kForward:
+      return "fwd";
+    case TraceEventKind::kDeliver:
+      return "recv";
+    case TraceEventKind::kDropTtl:
+      return "drop-ttl";
+    case TraceEventKind::kDropNoAgent:
+      return "drop-port";
+    case TraceEventKind::kDropIfq:
+      return "drop-ifq";
+    case TraceEventKind::kDropMac:
+      return "drop-mac";
+  }
+  return "?";
+}
+
+TraceEvent make_trace_event(SimTime now, NodeId node, TraceEventKind kind,
+                            const Packet& pkt) {
+  TraceEvent ev;
+  ev.time = now;
+  ev.node = node;
+  ev.kind = kind;
+  ev.uid = pkt.uid;
+  ev.src = pkt.ip.src;
+  ev.dst = pkt.ip.dst;
+  ev.proto = pkt.ip.proto;
+  ev.size_bytes = pkt.size_bytes;
+  if (pkt.has_tcp()) {
+    ev.is_ack = pkt.tcp().is_ack;
+    ev.seqno = pkt.tcp().seqno;
+  }
+  return ev;
+}
+
+}  // namespace muzha

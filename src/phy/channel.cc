@@ -1,0 +1,33 @@
+#include "phy/channel.h"
+
+#include "phy/wireless_phy.h"
+
+namespace muzha {
+
+void Channel::transmit(const WirelessPhy& src, const Packet& pkt,
+                       SimTime duration) {
+  ++frames_transmitted_;
+  Position sp = src.position();
+  for (WirelessPhy* rx : phys_) {
+    if (rx == &src) continue;
+    double dist = distance_m(sp, rx->position());
+    if (dist > params_.cs_range_m) continue;
+    bool decodable = dist <= params_.rx_range_m;
+    bool pre_corrupted = false;
+    PacketPtr copy;
+    if (decodable) {
+      copy = clone_packet(pkt);
+      pre_corrupted = error_model_->should_corrupt(pkt, dist, sim_.rng());
+      if (pre_corrupted) ++frames_corrupted_by_error_;
+    }
+    SimTime prop = SimTime::from_seconds(dist / params_.propagation_mps);
+    // Hand the copy to a shared_ptr so the lambda stays copyable for
+    // std::function.
+    auto shared = std::make_shared<PacketPtr>(std::move(copy));
+    sim_.schedule_in(prop, [rx, shared, pre_corrupted, duration, dist] {
+      rx->signal_start(std::move(*shared), pre_corrupted, duration, dist);
+    });
+  }
+}
+
+}  // namespace muzha

@@ -1,0 +1,59 @@
+// Shared wireless channel.
+//
+// The channel knows every attached PHY and its position. A transmission is
+// delivered as a (signal_start, signal_end) event pair to every PHY within
+// carrier-sense range, after per-receiver propagation delay. Receivers within
+// decode range additionally get the frame contents; receivers between decode
+// and CS range only sense energy (which still interferes). The receiving
+// PHY, not the channel, decides collision outcomes, because they depend on
+// receiver state (half-duplex, already decoding, ...).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "phy/error_model.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+
+class WirelessPhy;
+
+class Channel {
+ public:
+  Channel(Simulator& sim, PhyParams params)
+      : sim_(sim), params_(params), error_model_(new NoErrorModel) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const PhyParams& params() const { return params_; }
+  Simulator& sim() { return sim_; }
+
+  void attach(WirelessPhy& phy) { phys_.push_back(&phy); }
+
+  void set_error_model(std::unique_ptr<ErrorModel> em) {
+    error_model_ = std::move(em);
+  }
+
+  // Called by a transmitting PHY at TX start. `duration` is on-air time.
+  void transmit(const WirelessPhy& src, const Packet& pkt, SimTime duration);
+
+  // Statistics.
+  std::uint64_t frames_transmitted() const { return frames_transmitted_; }
+  std::uint64_t frames_corrupted_by_error() const {
+    return frames_corrupted_by_error_;
+  }
+
+ private:
+  Simulator& sim_;
+  PhyParams params_;
+  std::unique_ptr<ErrorModel> error_model_;
+  std::vector<WirelessPhy*> phys_;
+  std::uint64_t frames_transmitted_ = 0;
+  std::uint64_t frames_corrupted_by_error_ = 0;
+};
+
+}  // namespace muzha

@@ -1,0 +1,24 @@
+#include "phy/error_model.h"
+
+#include <cmath>
+
+namespace muzha {
+
+bool BerErrorModel::should_corrupt(const Packet& pkt, double, Rng& rng) {
+  double bits = static_cast<double>(pkt.size_bytes + kMacDataOverheadBytes) * 8.0;
+  double p_ok = std::pow(1.0 - ber_, bits);
+  return rng.chance(1.0 - p_ok);
+}
+
+bool GilbertElliottErrorModel::should_corrupt(const Packet&, double,
+                                              Rng& rng) {
+  double now = now_s_ ? *now_s_ : 0.0;
+  while (now >= state_until_s_) {
+    in_bad_ = !in_bad_;
+    double mean = in_bad_ ? cfg_.mean_bad_s : cfg_.mean_good_s;
+    state_until_s_ += rng.exponential(mean);
+  }
+  return in_bad_ && rng.chance(cfg_.bad_loss_prob);
+}
+
+}  // namespace muzha

@@ -1,0 +1,77 @@
+// Random-loss models for the wireless channel.
+//
+// The paper's motivation hinges on losses that are *not* congestion: high
+// BER, bursty interference. These models inject such losses independently of
+// queueing, which is what TCP Muzha's marked/unmarked duplicate-ACK scheme is
+// designed to discriminate.
+#pragma once
+
+#include <cstdint>
+
+#include "pkt/packet.h"
+#include "sim/rng.h"
+
+namespace muzha {
+
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+  // Returns true if this frame should arrive corrupted at a receiver
+  // `dist_m` away from the transmitter.
+  virtual bool should_corrupt(const Packet& pkt, double dist_m, Rng& rng) = 0;
+};
+
+// No random corruption (default).
+class NoErrorModel final : public ErrorModel {
+ public:
+  bool should_corrupt(const Packet&, double, Rng&) override { return false; }
+};
+
+// Corrupts each frame independently with a fixed probability.
+class UniformErrorModel final : public ErrorModel {
+ public:
+  explicit UniformErrorModel(double per_packet_prob)
+      : prob_(per_packet_prob) {}
+  bool should_corrupt(const Packet&, double, Rng& rng) override {
+    return rng.chance(prob_);
+  }
+
+ private:
+  double prob_;
+};
+
+// Per-bit error rate: corruption probability 1 - (1 - ber)^bits.
+class BerErrorModel final : public ErrorModel {
+ public:
+  explicit BerErrorModel(double ber) : ber_(ber) {}
+  bool should_corrupt(const Packet& pkt, double, Rng& rng) override;
+
+ private:
+  double ber_;
+};
+
+// Two-state Gilbert-Elliott burst-loss model: GOOD <-> BAD with exponential
+// sojourn times; frames sent during BAD periods are corrupted with
+// `bad_loss_prob`. Models the paper's "errors occur in bursts".
+class GilbertElliottErrorModel final : public ErrorModel {
+ public:
+  struct Config {
+    double mean_good_s = 1.0;
+    double mean_bad_s = 0.05;
+    double bad_loss_prob = 0.5;
+  };
+  // `now_s` is supplied per call so the model stays scheduler-free.
+  explicit GilbertElliottErrorModel(Config cfg) : cfg_(cfg) {}
+
+  bool should_corrupt(const Packet& pkt, double dist_m, Rng& rng) override;
+
+  void set_clock(const double* now_s) { now_s_ = now_s; }
+
+ private:
+  Config cfg_;
+  const double* now_s_ = nullptr;
+  bool in_bad_ = false;
+  double state_until_s_ = 0.0;
+};
+
+}  // namespace muzha

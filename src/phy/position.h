@@ -1,0 +1,19 @@
+// 2-D node positions (nodes are static in the paper's scenarios).
+#pragma once
+
+#include <cmath>
+
+namespace muzha {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance_m(Position a, Position b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace muzha

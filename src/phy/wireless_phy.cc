@@ -1,0 +1,120 @@
+#include "phy/wireless_phy.h"
+
+#include "sim/assert.h"
+
+namespace muzha {
+
+WirelessPhy::WirelessPhy(Simulator& sim, Channel& channel, NodeId id,
+                         Position pos)
+    : sim_(sim), channel_(channel), id_(id), pos_(pos) {
+  channel_.attach(*this);
+}
+
+SimTime WirelessPhy::tx_duration(std::uint32_t total_bytes,
+                                 bool basic_rate) const {
+  const PhyParams& p = channel_.params();
+  std::uint64_t rate = basic_rate ? p.basic_rate_bps : p.data_rate_bps;
+  // bits * 1e9 / rate nanoseconds, rounded up.
+  std::uint64_t bits = static_cast<std::uint64_t>(total_bytes) * 8;
+  std::int64_t ns = static_cast<std::int64_t>((bits * 1'000'000'000ull + rate - 1) / rate);
+  return p.plcp_overhead + SimTime::from_ns(ns);
+}
+
+void WirelessPhy::start_tx(PacketPtr pkt, bool basic_rate) {
+  MUZHA_ASSERT(!tx_active_, "PHY is half-duplex: cannot start TX during TX");
+  bool was_busy = carrier_busy();
+  // Transmitting while decoding destroys the reception (half duplex).
+  if (decoding_seq_ != 0) {
+    decoding_corrupted_ = true;
+    ++collisions_;
+  }
+  std::uint32_t overhead = 0;
+  switch (pkt->mac.type) {
+    case MacFrameType::kData:
+      overhead = kMacDataOverheadBytes;
+      break;
+    case MacFrameType::kRts:
+      overhead = kMacRtsBytes;
+      break;
+    case MacFrameType::kCts:
+      overhead = kMacCtsBytes;
+      break;
+    case MacFrameType::kAck:
+      overhead = kMacAckBytes;
+      break;
+  }
+  SimTime dur = tx_duration(pkt->size_bytes + overhead, basic_rate);
+  tx_active_ = true;
+  ++frames_sent_;
+  update_carrier(was_busy);
+  channel_.transmit(*this, *pkt, dur);
+  sim_.schedule_in(dur, [this] {
+    bool busy_before = carrier_busy();
+    tx_active_ = false;
+    // Inform the MAC of TX completion *before* the carrier-idle transition:
+    // the MAC must update its exchange state (e.g. start awaiting the ACK)
+    // before any idle notification can restart contention.
+    if (on_tx_done_) on_tx_done_();
+    update_carrier(busy_before);
+  });
+}
+
+void WirelessPhy::signal_start(PacketPtr pkt, bool pre_corrupted,
+                               SimTime duration, double tx_dist_m) {
+  bool was_busy = carrier_busy();
+  std::uint64_t seq = next_signal_seq_++;
+  double ratio = channel_.params().capture_distance_ratio;
+  // Lock onto a decodable frame when not transmitting or already decoding,
+  // provided every signal currently on the air is weak enough to be
+  // captured over (all at least `ratio` times farther than the new frame's
+  // transmitter). A quiet medium is the trivial case.
+  bool can_lock = !tx_active_ && decoding_seq_ == 0 && pkt != nullptr;
+  if (can_lock) {
+    for (const auto& [s, dist] : active_signals_) {
+      if (dist < tx_dist_m * ratio) {
+        can_lock = false;
+        break;
+      }
+    }
+  }
+  if (can_lock) {
+    decoding_seq_ = seq;
+    decoding_pkt_ = std::move(pkt);
+    decoding_corrupted_ = pre_corrupted;
+    decoding_dist_m_ = tx_dist_m;
+  } else if (decoding_seq_ != 0 && !decoding_corrupted_) {
+    // Capture effect: a sufficiently distant (weak) interferer does not
+    // destroy the frame being decoded.
+    if (tx_dist_m < decoding_dist_m_ * ratio) {
+      decoding_corrupted_ = true;
+      ++collisions_;
+    }
+  }
+  active_signals_.emplace(seq, tx_dist_m);
+  ++sensed_signals_;
+  update_carrier(was_busy);
+  sim_.schedule_in(duration, [this, seq] { signal_end(seq); });
+}
+
+void WirelessPhy::signal_end(std::uint64_t signal_seq) {
+  bool was_busy = carrier_busy();
+  MUZHA_ASSERT(sensed_signals_ > 0, "signal_end without matching start");
+  --sensed_signals_;
+  active_signals_.erase(signal_seq);
+  if (signal_seq == decoding_seq_) {
+    decoding_seq_ = 0;
+    PacketPtr p = std::move(decoding_pkt_);
+    bool corrupted = decoding_corrupted_ || tx_active_;
+    decoding_corrupted_ = false;
+    if (!corrupted) ++frames_received_ok_;
+    if (on_rx_) on_rx_(corrupted ? nullptr : std::move(p), corrupted);
+  }
+  update_carrier(was_busy);
+}
+
+void WirelessPhy::update_carrier(bool was_busy) {
+  bool now_busy = carrier_busy();
+  if (now_busy != was_busy && on_channel_state_) on_channel_state_(now_busy);
+}
+
+}  // namespace muzha

@@ -1,0 +1,101 @@
+// Half-duplex wireless PHY with physical carrier sense and collision
+// handling.
+//
+// Collision model: the PHY locks onto a decodable frame only when the medium
+// is completely quiet at its antenna. Any signal (decodable or mere energy)
+// that overlaps an in-progress reception corrupts it; frames arriving while
+// the PHY is transmitting are lost (half duplex). Corrupted receptions are
+// reported to the MAC so it can apply EIFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "phy/channel.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+
+class WirelessPhy {
+ public:
+  // Callback types up to the MAC.
+  using ChannelStateCallback = std::function<void(bool busy)>;
+  // pkt is null when only corruption is reported (collision damaged the
+  // frame beyond recovery of its headers).
+  using RxCallback = std::function<void(PacketPtr pkt, bool corrupted)>;
+  using TxDoneCallback = std::function<void()>;
+
+  WirelessPhy(Simulator& sim, Channel& channel, NodeId id, Position pos);
+  WirelessPhy(const WirelessPhy&) = delete;
+  WirelessPhy& operator=(const WirelessPhy&) = delete;
+
+  NodeId id() const { return id_; }
+  Position position() const { return pos_; }
+  void set_position(Position p) { pos_ = p; }
+
+  void set_channel_state_callback(ChannelStateCallback cb) {
+    on_channel_state_ = std::move(cb);
+  }
+  void set_rx_callback(RxCallback cb) { on_rx_ = std::move(cb); }
+  void set_tx_done_callback(TxDoneCallback cb) { on_tx_done_ = std::move(cb); }
+
+  // True when the medium is sensed busy (energy present, receiving, or
+  // transmitting).
+  bool carrier_busy() const { return tx_active_ || sensed_signals_ > 0; }
+  bool transmitting() const { return tx_active_; }
+
+  // On-air time of a frame of `total_bytes` (MAC overhead included by the
+  // caller) at the data or basic rate.
+  SimTime tx_duration(std::uint32_t total_bytes, bool basic_rate) const;
+
+  // Starts transmitting; MAC must not call this while carrier_busy() except
+  // for the SIFS responses the standard allows. on_tx_done fires at TX end.
+  void start_tx(PacketPtr pkt, bool basic_rate);
+
+  // --- Channel-facing interface -------------------------------------------
+  // A signal begins arriving from a transmitter `tx_dist_m` away. `pkt` is
+  // non-null iff the receiver is within decode range; `pre_corrupted` marks
+  // random channel errors.
+  void signal_start(PacketPtr pkt, bool pre_corrupted, SimTime duration,
+                    double tx_dist_m);
+
+  // Statistics.
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received_ok() const { return frames_received_ok_; }
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  void signal_end(std::uint64_t signal_seq);
+  void update_carrier(bool was_busy);
+
+  Simulator& sim_;
+  Channel& channel_;
+  NodeId id_;
+  Position pos_;
+
+  ChannelStateCallback on_channel_state_;
+  RxCallback on_rx_;
+  TxDoneCallback on_tx_done_;
+
+  bool tx_active_ = false;
+  int sensed_signals_ = 0;
+  // Distances of all currently arriving signals, keyed by signal sequence.
+  std::unordered_map<std::uint64_t, double> active_signals_;
+
+  // In-progress decode.
+  std::uint64_t next_signal_seq_ = 1;
+  std::uint64_t decoding_seq_ = 0;  // 0 = not decoding
+  PacketPtr decoding_pkt_;
+  bool decoding_corrupted_ = false;
+  double decoding_dist_m_ = 0.0;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ok_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace muzha

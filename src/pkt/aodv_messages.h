@@ -1,0 +1,54 @@
+// AODV control message formats (RFC 3561 subset).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace muzha {
+
+struct AodvRreq {
+  std::uint32_t rreq_id = 0;
+  std::uint32_t origin = 0;       // originator NodeId
+  std::uint32_t origin_seq = 0;   // originator sequence number
+  std::uint32_t dest = 0;         // destination NodeId
+  std::uint32_t dest_seq = 0;     // last known destination sequence number
+  bool unknown_dest_seq = true;   // U flag
+  std::uint8_t hop_count = 0;
+};
+
+struct AodvRrep {
+  std::uint32_t origin = 0;  // node the reply travels back to
+  std::uint32_t dest = 0;    // destination the route leads to
+  std::uint32_t dest_seq = 0;
+  std::uint8_t hop_count = 0;
+};
+
+struct AodvRerr {
+  struct Unreachable {
+    std::uint32_t dest = 0;
+    std::uint32_t dest_seq = 0;
+  };
+  std::vector<Unreachable> unreachable;
+};
+
+struct AodvMessage {
+  std::variant<AodvRreq, AodvRrep, AodvRerr> body;
+
+  bool is_rreq() const { return std::holds_alternative<AodvRreq>(body); }
+  bool is_rrep() const { return std::holds_alternative<AodvRrep>(body); }
+  bool is_rerr() const { return std::holds_alternative<AodvRerr>(body); }
+  AodvRreq& rreq() { return std::get<AodvRreq>(body); }
+  const AodvRreq& rreq() const { return std::get<AodvRreq>(body); }
+  AodvRrep& rrep() { return std::get<AodvRrep>(body); }
+  const AodvRrep& rrep() const { return std::get<AodvRrep>(body); }
+  AodvRerr& rerr() { return std::get<AodvRerr>(body); }
+  const AodvRerr& rerr() const { return std::get<AodvRerr>(body); }
+};
+
+// Wire sizes used for airtime accounting (RFC 3561 message sizes + IP hdr).
+inline constexpr std::uint32_t kAodvRreqBytes = 24 + 20;
+inline constexpr std::uint32_t kAodvRrepBytes = 20 + 20;
+inline constexpr std::uint32_t kAodvRerrBytes = 12 + 20;
+
+}  // namespace muzha

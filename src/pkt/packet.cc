@@ -1,0 +1,27 @@
+#include "pkt/packet.h"
+
+namespace muzha {
+
+PacketPtr make_packet(std::uint64_t& uid_counter) {
+  auto p = std::make_unique<Packet>();
+  p->uid = ++uid_counter;
+  return p;
+}
+
+PacketPtr clone_packet(const Packet& p) { return std::make_unique<Packet>(p); }
+
+const char* mac_frame_name(MacFrameType t) {
+  switch (t) {
+    case MacFrameType::kData:
+      return "DATA";
+    case MacFrameType::kRts:
+      return "RTS";
+    case MacFrameType::kCts:
+      return "CTS";
+    case MacFrameType::kAck:
+      return "ACK";
+  }
+  return "?";
+}
+
+}  // namespace muzha

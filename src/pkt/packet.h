@@ -1,0 +1,156 @@
+// Packet model with stacked protocol headers.
+//
+// Like NS-2, a Packet carries every layer's header at once; layers read and
+// write only their own header. Packets move through the stack as
+// std::unique_ptr<Packet> (exactly one owner at a time); broadcast fan-out
+// clones one copy per receiver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "pkt/aodv_messages.h"
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kBroadcastId = 0xFFFFFFFFu;
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFEu;
+
+using FlowId = std::uint32_t;
+
+// ---------------------------------------------------------------------------
+// MAC header (IEEE 802.11 style)
+// ---------------------------------------------------------------------------
+
+enum class MacFrameType : std::uint8_t { kData, kRts, kCts, kAck };
+
+struct MacHeader {
+  MacFrameType type = MacFrameType::kData;
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  // Remaining medium reservation after this frame ends (NAV duration).
+  SimTime duration;
+  std::uint16_t seq = 0;
+  bool retry = false;
+};
+
+// On-air MAC overhead in bytes (802.11 header + FCS; control frame sizes).
+inline constexpr std::uint32_t kMacDataOverheadBytes = 28;  // 24 hdr + 4 FCS
+inline constexpr std::uint32_t kMacRtsBytes = 20;
+inline constexpr std::uint32_t kMacCtsBytes = 14;
+inline constexpr std::uint32_t kMacAckBytes = 14;
+
+// ---------------------------------------------------------------------------
+// IP header, including TCP Muzha's AVBW-S option
+// ---------------------------------------------------------------------------
+
+enum class IpProto : std::uint8_t { kNone, kTcp, kAodv };
+
+// DRAI (Data Rate Adjustment Index) levels, Table 5.2 of the paper.
+inline constexpr std::uint8_t kDraiAggressiveDecel = 1;
+inline constexpr std::uint8_t kDraiModerateDecel = 2;
+inline constexpr std::uint8_t kDraiStabilize = 3;
+inline constexpr std::uint8_t kDraiModerateAccel = 4;
+inline constexpr std::uint8_t kDraiAggressiveAccel = 5;
+
+struct IpHeader {
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  IpProto proto = IpProto::kNone;
+  std::uint8_t ttl = 64;
+  // AVBW-S option: path-minimum DRAI. The sender initialises it to the
+  // maximum level; every node on the path (source included) lowers it to its
+  // own DRAI if smaller. At the receiver it is the MRAI.
+  std::uint8_t avbw_s = kDraiAggressiveAccel;
+  // Congestion mark set by routers whose DRAI is in the deceleration region.
+  bool congestion_marked = false;
+  // RoVegas-style option: queueing delay accumulated hop by hop on the
+  // forward path (each device adds the time the packet sat in its IFQ).
+  SimTime accum_queue_delay;
+};
+
+// ---------------------------------------------------------------------------
+// TCP header (packet-based, NS-2 "one-way TCP" style)
+// ---------------------------------------------------------------------------
+
+struct SackBlock {
+  std::int64_t begin = 0;  // first seqno in block
+  std::int64_t end = 0;    // one past last seqno in block
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+// Network-state classification piggybacked on ACKs by an ADTCP receiver.
+enum class AdtcpState : std::uint8_t {
+  kNormal,
+  kCongestion,
+  kChannelError,
+  kRouteChange,
+};
+
+struct TcpHeader {
+  FlowId flow = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  bool is_ack = false;
+  std::int64_t seqno = 0;  // data: segment number; ack: cumulative ack
+  // Timestamp echo for RTT sampling (Karn-safe: sender ignores echoes of
+  // retransmitted segments).
+  SimTime ts;
+  SimTime ts_echo;
+  // Muzha fields echoed by the receiver.
+  std::uint8_t mrai = kDraiAggressiveAccel;
+  bool marked = false;  // marked duplicate ACK => congestion loss
+  // SACK blocks (most recent first, at most 3 like the real option).
+  std::vector<SackBlock> sacks;
+  // TCP-DOOR one-byte option: duplicate-ACK stream sequence, so the sender
+  // can detect out-of-order delivery among otherwise identical dup ACKs.
+  std::uint32_t dup_seq = 0;
+  // ADTCP receiver-side network-state classification.
+  AdtcpState net_state = AdtcpState::kNormal;
+  // RoVegas: forward-path accumulated queueing delay echoed back.
+  SimTime qdelay_echo;
+  // ECN/CW-style echo: the data packet that triggered this ACK carried a
+  // router congestion mark (set on *every* ACK, unlike `marked`, which only
+  // applies to duplicates — TCP Jersey consumes this one).
+  bool ce_echo = false;
+};
+
+// ---------------------------------------------------------------------------
+// Packet
+// ---------------------------------------------------------------------------
+
+struct Packet {
+  std::uint64_t uid = 0;
+  // Size of the IP datagram in bytes (payload + transport/IP headers). MAC
+  // framing overhead is added by the MAC when computing airtime.
+  std::uint32_t size_bytes = 0;
+  MacHeader mac;
+  IpHeader ip;
+  std::variant<std::monostate, TcpHeader, AodvMessage> l4;
+
+  TcpHeader& tcp() { return std::get<TcpHeader>(l4); }
+  const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
+  bool has_tcp() const { return std::holds_alternative<TcpHeader>(l4); }
+
+  AodvMessage& aodv() { return std::get<AodvMessage>(l4); }
+  const AodvMessage& aodv() const { return std::get<AodvMessage>(l4); }
+  bool has_aodv() const { return std::holds_alternative<AodvMessage>(l4); }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+// Allocates a packet with a fresh uid. `uid_counter` is owned by the caller
+// (normally the Node or test); there is no global counter.
+PacketPtr make_packet(std::uint64_t& uid_counter);
+
+// Deep copy with the same uid (a broadcast's copies are "the same packet").
+PacketPtr clone_packet(const Packet& p);
+
+// Human-readable one-line summary for tracing.
+const char* mac_frame_name(MacFrameType t);
+
+}  // namespace muzha

@@ -1,0 +1,96 @@
+// ADTCP (Fu, Greenstein et al., ICNP 2002) — the multi-metric end-to-end
+// approach of Sec. 3.1.
+//
+// The receiver measures four signals on every arrival and classifies the
+// network state, which rides back to the sender on each ACK:
+//
+//   IDD — inter-packet delay difference (send-spacing vs arrival-spacing):
+//         rises with queueing; insensitive to random channel error.
+//   STT — short-term throughput: falls under congestion.
+//   POR — packet out-of-order ratio: rises across route changes.
+//   PLR — packet loss ratio (sequence gaps): rises with channel error.
+//
+// Joint identification (high/low judged against long-term EWMAs):
+//   IDD high AND STT low           -> CONGESTION
+//   else POR high                  -> ROUTE_CHANGE
+//   else PLR high                  -> CHANNEL_ERROR
+//   else                           -> NORMAL
+//
+// The AdtcpSender reacts: congestion -> Reno-style decrease; channel error
+// -> retransmit at the same rate; route change -> freeze (no decrease, no
+// RTO collapse on the next timeout).
+#pragma once
+
+#include <deque>
+
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_variants.h"
+
+namespace muzha {
+
+struct AdtcpConfig {
+  // Sliding sample window for the receiver metrics.
+  SimTime window = SimTime::from_seconds(1.0);
+  double ewma_alpha = 0.1;   // long-term baselines
+  double idd_high_factor = 2.0;
+  double stt_low_factor = 0.5;
+  double por_high = 0.15;
+  double plr_high = 0.10;
+};
+
+class AdtcpSink final : public TcpSink {
+ public:
+  AdtcpSink(Simulator& sim, Node& node, Config cfg, AdtcpConfig acfg = {});
+
+  AdtcpState state() const { return state_; }
+  double idd() const { return idd_short_; }
+  double stt() const { return stt_short_; }
+  double por() const { return por_; }
+  double plr() const { return plr_; }
+
+  void receive(PacketPtr pkt) override;
+
+ protected:
+  void customize_ack(TcpHeader& ack, const Packet& data, bool is_dup) override;
+
+ private:
+  void update_metrics(const Packet& data);
+  void classify();
+
+  AdtcpConfig acfg_;
+
+  // Arrival history within the sliding window: (arrival time, seqno,
+  // sender timestamp).
+  struct Sample {
+    SimTime arrival;
+    std::int64_t seq;
+    SimTime sent;
+  };
+  std::deque<Sample> samples_;
+
+  double idd_short_ = 0.0, idd_long_ = 0.0;
+  double stt_short_ = 0.0, stt_long_ = 0.0;
+  double por_ = 0.0;
+  double plr_ = 0.0;
+  std::int64_t max_seq_seen_ = -1;
+  AdtcpState state_ = AdtcpState::kNormal;
+};
+
+class AdtcpSender : public TcpNewReno {
+ public:
+  using TcpNewReno::TcpNewReno;
+
+  std::uint64_t non_congestion_losses() const { return non_congestion_losses_; }
+  AdtcpState last_state() const { return last_state_; }
+
+ protected:
+  void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
+  void on_dup_ack(const TcpHeader& h) override;
+  void on_timeout() override;
+
+ private:
+  AdtcpState last_state_ = AdtcpState::kNormal;
+  std::uint64_t non_congestion_losses_ = 0;
+};
+
+}  // namespace muzha

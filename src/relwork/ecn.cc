@@ -1,0 +1,55 @@
+#include "relwork/ecn.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+RedEcnMarker::RedEcnMarker(Simulator& sim, WirelessDevice& device,
+                           RedParams params)
+    : sim_(sim), device_(device), params_(params) {}
+
+bool RedEcnMarker::should_mark() {
+  // Per-packet average update (idle-period compensation omitted: in a
+  // saturated wireless forwarder the queue is rarely idle long).
+  double q = static_cast<double>(device_.queue().size());
+  avg_ = (1.0 - params_.weight) * avg_ + params_.weight * q;
+
+  if (avg_ < params_.min_th) {
+    count_since_mark_ = -1;
+    return false;
+  }
+  if (avg_ >= params_.max_th) {
+    count_since_mark_ = 0;
+    ++marks_;
+    return true;
+  }
+  // Linear marking probability, uniformized by the inter-mark count.
+  ++count_since_mark_;
+  double pb = params_.max_p * (avg_ - params_.min_th) /
+              (params_.max_th - params_.min_th);
+  double pa = pb / std::max(1e-9, 1.0 - count_since_mark_ * pb);
+  if (pa >= 1.0 || sim_.rng().chance(pa)) {
+    count_since_mark_ = 0;
+    ++marks_;
+    return true;
+  }
+  return false;
+}
+
+void TcpNewRenoEcn::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  if (h.ce_echo && !in_recovery() && sim().now() >= next_reaction_allowed_) {
+    // RFC 3168: react to marks as to loss, at most once per RTT, but
+    // without retransmitting anything.
+    ++ecn_reductions_;
+    set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+    set_cwnd(ssthresh());
+    double rtt = rto_estimator().has_sample()
+                     ? rto_estimator().srtt().to_seconds()
+                     : 0.1;
+    next_reaction_allowed_ = sim().now() + SimTime::from_seconds(rtt);
+    return;
+  }
+  TcpNewReno::on_new_ack(h, newly_acked);
+}
+
+}  // namespace muzha

@@ -1,0 +1,69 @@
+// RED + ECN: the standardized single-bit router-assisted mechanisms the
+// paper contrasts DRAI against (Sec. 3.2: "these two mechanisms provide only
+// ... single-bit congestion-status information ... their performance gain is
+// limited").
+//
+// RedEcnMarker implements the RED averaging/marking rules (Floyd & Jacobson
+// 1993) as a DraiSource whose rate recommendation is always "maximum" — it
+// conveys no multi-level advice, only the probabilistic single-bit mark.
+// TcpNewRenoEcn is NewReno plus the standard ECN reaction: at most once per
+// RTT, an echoed mark halves the window as if a packet had been lost, but
+// without the loss.
+//
+// bench/ecn_vs_drai pits NewReno+RED/ECN against Muzha's DRAI to reproduce
+// the paper's argument for richer feedback.
+#pragma once
+
+#include "net/agent.h"
+#include "net/wireless_device.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_variants.h"
+
+namespace muzha {
+
+// Defaults are calibrated for low-rate 802.11 forwarders, whose IFQs hold a
+// handful of packets on average with transient bursts (the wired-Internet
+// defaults wq=0.002 / 5 / 15 average out those bursts and never mark).
+struct RedParams {
+  double weight = 0.05;   // EWMA weight w_q
+  double min_th = 3.0;    // packets
+  double max_th = 10.0;   // packets
+  double max_p = 0.2;     // marking probability at max_th
+};
+
+class RedEcnMarker final : public DraiSource {
+ public:
+  RedEcnMarker(Simulator& sim, WirelessDevice& device, RedParams params = {});
+
+  // Single-bit router: never gives rate advice.
+  std::uint8_t current_drai() override { return kDraiAggressiveAccel; }
+  bool should_mark() override;
+
+  double avg_queue() const { return avg_; }
+  std::uint64_t marks() const { return marks_; }
+
+ private:
+  Simulator& sim_;
+  WirelessDevice& device_;
+  RedParams params_;
+  double avg_ = 0.0;
+  int count_since_mark_ = -1;  // RED's "count" for uniformized marking
+  std::uint64_t marks_ = 0;
+};
+
+// NewReno with the RFC 3168 congestion response to echoed ECN marks.
+class TcpNewRenoEcn : public TcpNewReno {
+ public:
+  using TcpNewReno::TcpNewReno;
+
+  std::uint64_t ecn_reductions() const { return ecn_reductions_; }
+
+ protected:
+  void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
+
+ private:
+  SimTime next_reaction_allowed_;
+  std::uint64_t ecn_reductions_ = 0;
+};
+
+}  // namespace muzha

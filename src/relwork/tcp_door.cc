@@ -1,0 +1,62 @@
+#include "relwork/tcp_door.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+TcpDoor::TcpDoor(Simulator& sim, Node& node, TcpConfig cfg, DoorConfig door)
+    : TcpNewReno(sim, node, cfg), door_(door) {}
+
+bool TcpDoor::cc_disabled() { return sim().now() < cc_disabled_until_; }
+
+void TcpDoor::on_ooo_detected() {
+  ++ooo_events_;
+  cc_disabled_until_ = sim().now() + door_.t1_disable_cc;
+  // Instant recovery: undo a recent congestion response that the
+  // (now-evident) route change most likely caused.
+  if (have_snapshot_ &&
+      sim().now() - snap_time_ <= door_.t2_instant_recovery) {
+    ++instant_recoveries_;
+    set_ssthresh(snap_ssthresh_);
+    set_cwnd(snap_cwnd_);
+    exit_recovery_bookkeeping();
+    have_snapshot_ = false;
+  }
+}
+
+void TcpDoor::on_old_ack(const TcpHeader&) {
+  // A regressed non-duplicate ACK can only arrive via reordering.
+  on_ooo_detected();
+}
+
+void TcpDoor::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  last_dup_seq_ = 0;
+  TcpNewReno::on_new_ack(h, newly_acked);
+}
+
+void TcpDoor::on_dup_ack(const TcpHeader& h) {
+  // Reordered duplicate ACKs: the stream sequence runs backwards.
+  if (h.dup_seq != 0 && last_dup_seq_ != 0 && h.dup_seq < last_dup_seq_) {
+    on_ooo_detected();
+  }
+  if (h.dup_seq != 0) last_dup_seq_ = std::max(last_dup_seq_, h.dup_seq);
+
+  if (cc_disabled() && !in_recovery() &&
+      dupacks() == config().dupack_threshold) {
+    // Congestion response suppressed: retransmit, keep the window.
+    enter_recovery_bookkeeping();
+    retransmit(highest_ack() + 1);
+    return;
+  }
+  if (!in_recovery() && dupacks() == config().dupack_threshold) {
+    // About to take a congestion action: snapshot so a subsequent OOO event
+    // can undo it.
+    have_snapshot_ = true;
+    snap_cwnd_ = cwnd();
+    snap_ssthresh_ = ssthresh();
+    snap_time_ = sim().now();
+  }
+  TcpNewReno::on_dup_ack(h);
+}
+
+}  // namespace muzha

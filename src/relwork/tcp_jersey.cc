@@ -1,0 +1,74 @@
+#include "relwork/tcp_jersey.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+TcpJersey::TcpJersey(Simulator& sim, Node& node, TcpConfig cfg)
+    : TcpNewReno(sim, node, cfg) {}
+
+double TcpJersey::abe_window() const {
+  if (re_pps_ <= 0.0 || min_rtt_s_ <= 0.0) return 2.0;
+  return std::max(2.0, re_pps_ * min_rtt_s_);
+}
+
+void TcpJersey::update_rate_estimate(std::int64_t newly_acked) {
+  SimTime now = sim().now();
+  double rtt = rto_estimator().has_sample()
+                   ? rto_estimator().srtt().to_seconds()
+                   : 0.1;
+  if (last_ack_time_ > SimTime::zero()) {
+    double dt = (now - last_ack_time_).to_seconds();
+    re_pps_ = (rtt * re_pps_ + static_cast<double>(newly_acked)) / (dt + rtt);
+  } else {
+    re_pps_ = static_cast<double>(newly_acked) / rtt;
+  }
+  last_ack_time_ = now;
+}
+
+void TcpJersey::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  update_rate_estimate(newly_acked);
+  if (h.ts_echo > SimTime::zero() && !seq_was_retransmitted(h.seqno)) {
+    double rtt = (sim().now() - h.ts_echo).to_seconds();
+    if (min_rtt_s_ == 0.0 || rtt < min_rtt_s_) min_rtt_s_ = rtt;
+  }
+  if (h.ce_echo && !in_recovery() && sim().now() >= next_clamp_allowed_) {
+    // Congestion warning from a router: proactively fall back to the ABE
+    // window, at most once per RTT.
+    double ownd = abe_window();
+    if (ownd < cwnd()) {
+      ++cw_clamps_;
+      set_ssthresh(ownd);
+      set_cwnd(ownd);
+    }
+    double rtt = rto_estimator().has_sample()
+                     ? rto_estimator().srtt().to_seconds()
+                     : 0.1;
+    next_clamp_allowed_ = sim().now() + SimTime::from_seconds(rtt);
+    return;
+  }
+  TcpNewReno::on_new_ack(h, newly_acked);
+}
+
+void TcpJersey::on_dup_ack(const TcpHeader& h) {
+  if (!in_recovery() && dupacks() == config().dupack_threshold) {
+    // Rate-based fast recovery: window jumps to the ABE estimate instead of
+    // blindly halving.
+    double ownd = abe_window();
+    set_ssthresh(ownd);
+    enter_recovery_bookkeeping();
+    set_cwnd(ownd);
+    retransmit(highest_ack() + 1);
+    return;
+  }
+  TcpNewReno::on_dup_ack(h);
+}
+
+void TcpJersey::on_timeout() {
+  set_ssthresh(abe_window());
+  set_cwnd(1.0);
+  exit_recovery_bookkeeping();
+  go_back_n();
+}
+
+}  // namespace muzha

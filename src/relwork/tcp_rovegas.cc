@@ -1,0 +1,23 @@
+#include "relwork/tcp_rovegas.h"
+
+namespace muzha {
+
+TcpRoVegas::TcpRoVegas(Simulator& sim, Node& node, TcpConfig cfg,
+                       VegasConfig vcfg)
+    : TcpVegas(sim, node, cfg, vcfg) {}
+
+void TcpRoVegas::note_ack(const TcpHeader& h) {
+  double q = h.qdelay_echo.to_seconds();
+  if (epoch_qdelay_s_ < 0.0 || q < epoch_qdelay_s_) epoch_qdelay_s_ = q;
+}
+
+double TcpRoVegas::compute_diff() const {
+  if (epoch_qdelay_s_ < 0.0) return TcpVegas::compute_diff();
+  double base = base_rtt();
+  if (base <= 0.0) return 0.0;
+  return cwnd() * epoch_qdelay_s_ / (base + epoch_qdelay_s_);
+}
+
+void TcpRoVegas::on_epoch_reset() { epoch_qdelay_s_ = -1.0; }
+
+}  // namespace muzha

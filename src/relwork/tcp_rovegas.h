@@ -1,0 +1,36 @@
+// TCP RoVegas (Chan, Chan & Chen, Computer Communications 2004) — the
+// router-assisted Vegas enhancement of Sec. 3.2.
+//
+// Plain Vegas infers queueing from RTT, so backward-path (ACK-path)
+// congestion falsely shrinks its window. RoVegas has routers accumulate the
+// actual per-hop queueing delay of each *data* packet in an IP option
+// (IpHeader::accum_queue_delay, filled by every device on the forward
+// path); the receiver echoes it (TcpHeader::qdelay_echo). The sender then
+// estimates the queue backlog from forward-path delay only:
+//
+//   diff = cwnd * q_fwd / (baseRTT + q_fwd)
+//
+// which is immune to ACK-path queueing and delayed ACKs.
+#pragma once
+
+#include "tcp/tcp_vegas.h"
+
+namespace muzha {
+
+class TcpRoVegas : public TcpVegas {
+ public:
+  TcpRoVegas(Simulator& sim, Node& node, TcpConfig cfg,
+             VegasConfig vcfg = {});
+
+  double epoch_forward_qdelay_s() const { return epoch_qdelay_s_; }
+
+ protected:
+  void note_ack(const TcpHeader& h) override;
+  double compute_diff() const override;
+  void on_epoch_reset() override;
+
+ private:
+  double epoch_qdelay_s_ = -1.0;  // min forward queueing delay this epoch
+};
+
+}  // namespace muzha

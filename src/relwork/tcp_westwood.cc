@@ -1,0 +1,59 @@
+#include "relwork/tcp_westwood.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+TcpWestwood::TcpWestwood(Simulator& sim, Node& node, TcpConfig cfg,
+                         double filter_alpha)
+    : TcpNewReno(sim, node, cfg), filter_alpha_(filter_alpha) {}
+
+double TcpWestwood::eligible_window() const {
+  if (bwe_pps_ <= 0.0 || min_rtt_s_ <= 0.0) return 2.0;
+  return std::max(2.0, bwe_pps_ * min_rtt_s_);
+}
+
+void TcpWestwood::update_bwe(std::int64_t newly_acked) {
+  SimTime now = sim().now();
+  if (last_ack_time_ > SimTime::zero()) {
+    double dt = (now - last_ack_time_).to_seconds();
+    if (dt > 0) {
+      double sample = static_cast<double>(newly_acked) / dt;
+      bwe_pps_ = filter_alpha_ * bwe_pps_ +
+                 (1.0 - filter_alpha_) * 0.5 * (sample + prev_sample_pps_);
+      prev_sample_pps_ = sample;
+    }
+  }
+  last_ack_time_ = now;
+}
+
+void TcpWestwood::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  update_bwe(newly_acked);
+  if (h.ts_echo > SimTime::zero() && !seq_was_retransmitted(h.seqno)) {
+    double rtt = (sim().now() - h.ts_echo).to_seconds();
+    if (min_rtt_s_ == 0.0 || rtt < min_rtt_s_) min_rtt_s_ = rtt;
+  }
+  TcpNewReno::on_new_ack(h, newly_acked);
+}
+
+void TcpWestwood::on_dup_ack(const TcpHeader& h) {
+  if (!in_recovery() && dupacks() == config().dupack_threshold) {
+    // Faster recovery: set the window from the measured rate, not half.
+    double eligible = eligible_window();
+    set_ssthresh(eligible);
+    enter_recovery_bookkeeping();
+    set_cwnd(std::min(cwnd(), eligible));
+    retransmit(highest_ack() + 1);
+    return;
+  }
+  TcpNewReno::on_dup_ack(h);
+}
+
+void TcpWestwood::on_timeout() {
+  set_ssthresh(eligible_window());
+  set_cwnd(1.0);
+  exit_recovery_bookkeeping();
+  go_back_n();
+}
+
+}  // namespace muzha

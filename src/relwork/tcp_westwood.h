@@ -1,0 +1,41 @@
+// TCP Westwood (Gerla, Sanadidi et al., GLOBECOM 2001) — paper reference
+// [24]: end-to-end bandwidth estimation from the ACK stream, used to set
+// ssthresh after loss ("faster recovery") instead of blind halving.
+//
+//   per ACK:  b_k = acked_segments / (t_k - t_{k-1})
+//   BWE      low-pass (Tustin) filtered: bwe = a*bwe + (1-a)/2*(b_k + b_{k-1})
+//   on 3 dup ACKs:  ssthresh = BWE * RTT_min;  cwnd = min(cwnd, ssthresh)
+//   on timeout:     ssthresh = BWE * RTT_min;  cwnd = 1
+//
+// Unlike TCP Jersey (which shares the estimation idea), Westwood needs no
+// router support at all.
+#pragma once
+
+#include "tcp/tcp_variants.h"
+
+namespace muzha {
+
+class TcpWestwood : public TcpNewReno {
+ public:
+  TcpWestwood(Simulator& sim, Node& node, TcpConfig cfg,
+              double filter_alpha = 0.9);
+
+  double bandwidth_estimate_pps() const { return bwe_pps_; }
+  double eligible_window() const;
+
+ protected:
+  void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
+  void on_dup_ack(const TcpHeader& h) override;
+  void on_timeout() override;
+
+ private:
+  void update_bwe(std::int64_t newly_acked);
+
+  double filter_alpha_;
+  double bwe_pps_ = 0.0;
+  double prev_sample_pps_ = 0.0;
+  SimTime last_ack_time_;
+  double min_rtt_s_ = 0.0;
+};
+
+}  // namespace muzha

@@ -1,0 +1,129 @@
+// AODV routing (RFC 3561 subset) — the routing protocol of Table 5.1.
+//
+// Implemented: on-demand RREQ flooding with duplicate suppression, reverse
+// routes, destination and intermediate RREP, RERR propagation on MAC
+// link-layer failure (the paper's nodes are static, so link failures come
+// from retry exhaustion under contention), RREQ retries with binary
+// exponential backoff, destination sequence numbers, route lifetimes, and
+// buffering of data packets during discovery.
+//
+// Omitted relative to the RFC (not exercised by the paper's scenarios):
+// HELLO messages (link failure comes from the MAC), expanding-ring search,
+// local repair, gratuitous RREP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+#include "net/routing_protocol.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace muzha {
+
+struct AodvParams {
+  SimTime active_route_timeout = SimTime::from_seconds(10.0);
+  // RFC 3561 defaults (40 ms / 35) yield a 2.8 s discovery timeout — sized
+  // for Internet-scale MANETs. NS-2's AODV uses expanding-ring timeouts an
+  // order of magnitude shorter; for the paper's <= 33-node topologies we
+  // default to 10 ms per node, giving a 0.7 s first-attempt timeout.
+  SimTime node_traversal_time = SimTime::from_ms(10);
+  std::uint32_t net_diameter = 35;
+  std::uint32_t rreq_retries = 2;  // attempts = 1 + retries
+  std::size_t send_buffer_capacity = 64;
+  SimTime path_discovery_time = SimTime::from_seconds(5.6);
+  // Broadcasts (RREQ floods, RERRs) are delayed by a uniform random jitter
+  // to break the deterministic lockstep collisions of simultaneous floods
+  // (RFC 3561 s6.x "to avoid synchronization").
+  SimTime broadcast_jitter = SimTime::from_ms(10);
+
+  // Expanding-ring search (RFC 3561 s6.4): first RREQs carry a small TTL
+  // that grows per attempt, so close destinations are found without flooding
+  // the whole network. Ring attempts do not count against rreq_retries.
+  // Off by default (the paper's single-flow chains always need the full
+  // path, so the ring only adds latency there).
+  bool expanding_ring = false;
+  std::uint8_t ttl_start = 2;
+  std::uint8_t ttl_increment = 2;
+  std::uint8_t ttl_threshold = 7;
+
+  SimTime net_traversal_time() const {
+    return node_traversal_time * (2 * static_cast<std::int64_t>(net_diameter));
+  }
+};
+
+class Aodv final : public RoutingProtocol {
+ public:
+  Aodv(Simulator& sim, Node& node, AodvParams params = {});
+
+  void route_packet(PacketPtr pkt) override;
+  void handle_control(PacketPtr pkt) override;
+  void on_link_failure(NodeId next_hop, PacketPtr pkt) override;
+  std::uint64_t drops_no_route() const override { return drops_no_route_; }
+
+  struct Route {
+    NodeId next_hop = kInvalidNodeId;
+    std::uint32_t dest_seq = 0;
+    bool valid_dest_seq = false;
+    std::uint8_t hops = 0;
+    SimTime expiry;
+    bool valid = false;
+  };
+
+  // Introspection for tests.
+  const Route* find_route(NodeId dst) const;
+  bool has_valid_route(NodeId dst) const;
+
+  // Statistics.
+  std::uint64_t rreqs_originated() const { return rreqs_originated_; }
+  std::uint64_t rreps_sent() const { return rreps_sent_; }
+  std::uint64_t rerrs_sent() const { return rerrs_sent_; }
+  std::uint64_t discovery_failures() const { return discovery_failures_; }
+
+ private:
+  struct PendingDiscovery {
+    std::vector<PacketPtr> buffered;
+    std::uint32_t attempts = 0;       // full-TTL attempts only
+    std::uint8_t ring_ttl = 0;        // 0 = ring not started
+    EventId retry_event = kInvalidEventId;
+  };
+
+  void start_discovery(NodeId dst);
+  void send_rreq(NodeId dst);
+  void on_rreq_timeout(NodeId dst);
+  void handle_rreq(const Packet& pkt);
+  void handle_rrep(PacketPtr pkt);
+  void handle_rerr(const Packet& pkt);
+  void send_rerr(std::vector<AodvRerr::Unreachable> unreachable);
+  // Updates (creating if needed) the route to `dst`; returns the entry.
+  Route& update_route(NodeId dst, NodeId next_hop, std::uint32_t dest_seq,
+                      bool valid_dest_seq, std::uint8_t hops, SimTime lifetime);
+  void refresh_route(Route& r);
+  void flush_buffer(NodeId dst);
+  PacketPtr make_control(std::uint32_t size_bytes);
+  // Sends a broadcast control packet after random jitter.
+  void broadcast_jittered(PacketPtr pkt);
+
+  Simulator& sim_;
+  Node& node_;
+  AodvParams params_;
+
+  std::unordered_map<NodeId, Route> routes_;
+  std::unordered_map<NodeId, PendingDiscovery> pending_;
+  // Duplicate RREQ cache: (origin, rreq_id) -> expiry.
+  std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
+
+  std::uint32_t own_seq_ = 0;
+  std::uint32_t next_rreq_id_ = 0;
+
+  std::uint64_t drops_no_route_ = 0;
+  std::uint64_t rreqs_originated_ = 0;
+  std::uint64_t rreps_sent_ = 0;
+  std::uint64_t rerrs_sent_ = 0;
+  std::uint64_t discovery_failures_ = 0;
+};
+
+}  // namespace muzha

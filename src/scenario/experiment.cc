@@ -1,0 +1,266 @@
+#include "scenario/experiment.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "relwork/adtcp.h"
+#include "relwork/ecn.h"
+#include "relwork/tcp_door.h"
+#include "relwork/tcp_jersey.h"
+#include "relwork/tcp_rovegas.h"
+#include "relwork/tcp_westwood.h"
+#include "routing/static_routing.h"
+#include "sim/assert.h"
+
+namespace muzha {
+
+const char* variant_name(TcpVariant v) {
+  switch (v) {
+    case TcpVariant::kTahoe:
+      return "Tahoe";
+    case TcpVariant::kReno:
+      return "Reno";
+    case TcpVariant::kNewReno:
+      return "NewReno";
+    case TcpVariant::kSack:
+      return "SACK";
+    case TcpVariant::kVegas:
+      return "Vegas";
+    case TcpVariant::kMuzha:
+      return "Muzha";
+    case TcpVariant::kDoor:
+      return "DOOR";
+    case TcpVariant::kAdtcp:
+      return "ADTCP";
+    case TcpVariant::kJersey:
+      return "Jersey";
+    case TcpVariant::kRoVegas:
+      return "RoVegas";
+    case TcpVariant::kNewRenoEcn:
+      return "NewReno+ECN";
+    case TcpVariant::kWestwood:
+      return "Westwood";
+  }
+  return "?";
+}
+
+std::unique_ptr<TcpAgent> make_tcp_agent(TcpVariant v, Simulator& sim,
+                                         Node& node, TcpConfig cfg) {
+  switch (v) {
+    case TcpVariant::kTahoe:
+      return std::make_unique<TcpTahoe>(sim, node, cfg);
+    case TcpVariant::kReno:
+      return std::make_unique<TcpReno>(sim, node, cfg);
+    case TcpVariant::kNewReno:
+      return std::make_unique<TcpNewReno>(sim, node, cfg);
+    case TcpVariant::kSack:
+      return std::make_unique<TcpSack>(sim, node, cfg);
+    case TcpVariant::kVegas:
+      return std::make_unique<TcpVegas>(sim, node, cfg);
+    case TcpVariant::kMuzha:
+      return std::make_unique<TcpMuzha>(sim, node, cfg);
+    case TcpVariant::kDoor:
+      return std::make_unique<TcpDoor>(sim, node, cfg);
+    case TcpVariant::kAdtcp:
+      return std::make_unique<AdtcpSender>(sim, node, cfg);
+    case TcpVariant::kJersey:
+      return std::make_unique<TcpJersey>(sim, node, cfg);
+    case TcpVariant::kRoVegas:
+      return std::make_unique<TcpRoVegas>(sim, node, cfg);
+    case TcpVariant::kNewRenoEcn:
+      return std::make_unique<TcpNewRenoEcn>(sim, node, cfg);
+    case TcpVariant::kWestwood:
+      return std::make_unique<TcpWestwood>(sim, node, cfg);
+  }
+  return nullptr;
+}
+
+double ExperimentResult::total_throughput_bps() const {
+  double t = 0.0;
+  for (const FlowResult& f : flows) t += f.throughput_bps;
+  return t;
+}
+
+std::vector<double> ExperimentResult::flow_throughputs() const {
+  std::vector<double> out;
+  out.reserve(flows.size());
+  for (const FlowResult& f : flows) out.push_back(f.throughput_bps);
+  return out;
+}
+
+namespace {
+
+// Fills every node's static table with BFS shortest-path next hops over the
+// 250 m connectivity graph.
+void install_static_routes(Network& net) {
+  const std::size_t n = net.size();
+  double rx_range = net.channel().params().rx_range_m;
+  // Adjacency from positions.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double d = distance_m(net.node(i).device().phy().position(),
+                            net.node(j).device().phy().position());
+      if (d <= rx_range) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  // BFS from every destination; predecessor hop toward dst becomes the next
+  // hop in each node's table.
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::vector<std::size_t> next(n, SIZE_MAX);
+    std::vector<bool> seen(n, false);
+    std::deque<std::size_t> q{dst};
+    seen[dst] = true;
+    while (!q.empty()) {
+      std::size_t u = q.front();
+      q.pop_front();
+      for (std::size_t v : adj[u]) {
+        if (seen[v]) continue;
+        seen[v] = true;
+        next[v] = u;  // v's next hop toward dst is u
+        q.push_back(v);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == dst || next[i] == SIZE_MAX) continue;
+      net.static_routing(i).add_route(net.node(dst).id(),
+                                      net.node(next[i]).id());
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  MUZHA_ASSERT(!cfg.flows.empty(), "experiment needs at least one flow");
+  Network net(cfg.seed);
+
+  // Topology.
+  if (cfg.topology == TopologyKind::kChain) {
+    build_chain(net, cfg.hops);
+  } else {
+    build_cross(net, cfg.hops);
+  }
+
+  // Routing.
+  if (cfg.static_routing) {
+    net.use_static_routing();
+    install_static_routes(net);
+  } else {
+    net.use_aodv();
+  }
+
+  // Router assistance: Muzha needs DRAI stamping; Jersey needs the router
+  // congestion-warning marks that the same estimator produces; NewReno+ECN
+  // needs RED/ECN markers instead (single-bit).
+  bool any_router_assisted = false;
+  bool any_ecn = false;
+  for (const FlowSpec& f : cfg.flows) {
+    if (f.variant == TcpVariant::kMuzha || f.variant == TcpVariant::kJersey) {
+      any_router_assisted = true;
+    }
+    if (f.variant == TcpVariant::kNewRenoEcn) any_ecn = true;
+  }
+  bool routers_on = cfg.muzha_routers == ExperimentConfig::Routers::kOn ||
+                    (cfg.muzha_routers == ExperimentConfig::Routers::kAuto &&
+                     any_router_assisted);
+  if (routers_on) {
+    net.enable_muzha_routers(cfg.drai);
+  } else if (any_ecn) {
+    net.enable_red_ecn_routers(cfg.red);
+  }
+
+  // Random loss.
+  if (cfg.uniform_error_rate > 0.0) {
+    net.set_error_model(
+        std::make_unique<UniformErrorModel>(cfg.uniform_error_rate));
+  }
+
+  // Flows.
+  struct FlowInstance {
+    std::unique_ptr<TcpAgent> agent;
+    std::unique_ptr<TcpSink> sink;
+    CwndTracer cwnd;
+    std::unique_ptr<ThroughputSampler> sampler;
+  };
+  std::vector<FlowInstance> instances;
+  instances.reserve(cfg.flows.size());
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    const FlowSpec& f = cfg.flows[i];
+    MUZHA_ASSERT(f.src < net.size() && f.dst < net.size(),
+                 "flow endpoints out of range");
+    MUZHA_ASSERT(f.src != f.dst, "flow endpoints must differ");
+    FlowInstance inst;
+    TcpConfig tc;
+    tc.dst = net.node(f.dst).id();
+    tc.src_port = static_cast<std::uint16_t>(1000 + i);
+    tc.dst_port = static_cast<std::uint16_t>(2000 + i);
+    tc.flow = static_cast<FlowId>(i);
+    tc.packet_size_bytes = kSegmentBytes;
+    tc.window = f.window;
+    inst.agent = make_tcp_agent(f.variant, net.sim(), net.node(f.src), tc);
+    if (auto* m = dynamic_cast<TcpMuzha*>(inst.agent.get())) {
+      m->set_loss_discrimination(cfg.muzha_loss_discrimination);
+    }
+
+    TcpSink::Config sc;
+    sc.port = tc.dst_port;
+    if (f.variant == TcpVariant::kAdtcp) {
+      // ADTCP is receiver-assisted: its sink measures and classifies.
+      inst.sink = std::make_unique<AdtcpSink>(net.sim(), net.node(f.dst), sc);
+    } else {
+      inst.sink = std::make_unique<TcpSink>(net.sim(), net.node(f.dst), sc);
+    }
+    inst.sink->start();
+    inst.sampler =
+        std::make_unique<ThroughputSampler>(cfg.throughput_bin, kPayloadBytes);
+    inst.sampler->attach(*inst.sink);
+
+    TcpAgent* agent = inst.agent.get();
+    net.sim().schedule_at(f.start_time, [agent] { agent->start(); });
+    instances.push_back(std::move(inst));
+    // Attach the tracer only once the instance has its final address (the
+    // vector was reserved above, so later pushes do not relocate it).
+    instances.back().cwnd.attach(*instances.back().agent);
+  }
+
+  net.run_until(cfg.duration);
+
+  // Collect.
+  ExperimentResult result;
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    const FlowSpec& f = cfg.flows[i];
+    FlowInstance& inst = instances[i];
+    FlowResult r;
+    r.variant = f.variant;
+    r.delivered = inst.sink->delivered();
+    r.duration_s = (cfg.duration - f.start_time).to_seconds();
+    r.throughput_bps =
+        r.duration_s > 0.0
+            ? static_cast<double>(r.delivered) * kPayloadBytes * 8.0 /
+                  r.duration_s
+            : 0.0;
+    r.packets_sent = inst.agent->packets_sent();
+    r.retransmissions = inst.agent->retransmissions();
+    r.timeouts = inst.agent->timeouts();
+    r.cwnd_trace = inst.cwnd.series();
+    r.throughput_series = inst.sampler->series();
+    if (auto* m = dynamic_cast<TcpMuzha*>(inst.agent.get())) {
+      r.marked_loss_events = m->marked_loss_events();
+      r.unmarked_loss_events = m->unmarked_loss_events();
+    }
+    result.flows.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    result.ifq_drops += net.node(i).device().queue().drops();
+    result.mac_retry_drops += net.node(i).device().mac().drops_retry_limit();
+    result.phy_collisions += net.node(i).device().phy().collisions();
+  }
+  result.channel_error_losses = net.channel().frames_corrupted_by_error();
+  return result;
+}
+
+}  // namespace muzha

@@ -1,0 +1,116 @@
+// Declarative experiment runner — the high-level public API.
+//
+// Describe a topology, a set of TCP flows (variant, endpoints, start time,
+// advertised window `window_`) and a duration; run_experiment() builds the
+// whole stack, runs it, and returns per-flow throughput, retransmissions,
+// CWND traces and throughput-dynamics series. Every bench and example is a
+// thin wrapper over this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/drai.h"
+#include "core/tcp_muzha.h"
+#include "relwork/ecn.h"
+#include "scenario/network.h"
+#include "stats/time_series.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_variants.h"
+#include "tcp/tcp_vegas.h"
+
+namespace muzha {
+
+// The paper's protagonists (Tahoe..Muzha) plus the related-work protocols
+// its Ch. 3 surveys: TCP-DOOR, ADTCP (end-to-end), TCP Jersey and TCP
+// RoVegas (router-assisted).
+enum class TcpVariant {
+  kTahoe,
+  kReno,
+  kNewReno,
+  kSack,
+  kVegas,
+  kMuzha,
+  kDoor,
+  kAdtcp,
+  kJersey,
+  kRoVegas,
+  // NewReno + RFC 3168 ECN over RED-marking routers (single-bit feedback,
+  // the paper's Sec. 3.2 comparison point for DRAI).
+  kNewRenoEcn,
+  // End-to-end bandwidth estimation (paper reference [24]).
+  kWestwood,
+};
+
+const char* variant_name(TcpVariant v);
+
+// Factory for a sender of the given variant (Muzha included).
+std::unique_ptr<TcpAgent> make_tcp_agent(TcpVariant v, Simulator& sim,
+                                         Node& node, TcpConfig cfg);
+
+struct FlowSpec {
+  TcpVariant variant = TcpVariant::kNewReno;
+  std::size_t src = 0;  // node index
+  std::size_t dst = 0;  // node index
+  SimTime start_time;
+  int window = 32;  // NS-2 window_
+};
+
+enum class TopologyKind { kChain, kCross };
+
+struct ExperimentConfig {
+  TopologyKind topology = TopologyKind::kChain;
+  int hops = 4;
+  SimTime duration = SimTime::from_seconds(30.0);
+  std::uint64_t seed = 1;
+  std::vector<FlowSpec> flows;
+  // Router assistance: default on iff any flow is Muzha.
+  enum class Routers { kAuto, kOn, kOff };
+  Routers muzha_routers = Routers::kAuto;
+  DraiConfig drai;
+  // RED parameters used when a kNewRenoEcn flow enables RED/ECN routers.
+  RedParams red;
+  // Random per-packet channel loss (0 = none).
+  double uniform_error_rate = 0.0;
+  // Ablation: disable Muzha's marked/unmarked loss discrimination.
+  bool muzha_loss_discrimination = true;
+  // AODV by default (Table 5.1); static routing isolates transport effects.
+  bool static_routing = false;
+  SimTime throughput_bin = SimTime::from_seconds(1.0);
+};
+
+struct FlowResult {
+  TcpVariant variant;
+  std::int64_t delivered = 0;  // in-order segments at the sink
+  double duration_s = 0.0;     // flow start -> experiment end
+  double throughput_bps = 0.0; // goodput: delivered payload bits / duration
+  std::uint64_t packets_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  TimeSeries cwnd_trace;
+  TimeSeries throughput_series;
+  // Muzha-only diagnostics (0 for other variants).
+  std::uint64_t marked_loss_events = 0;
+  std::uint64_t unmarked_loss_events = 0;
+};
+
+struct ExperimentResult {
+  std::vector<FlowResult> flows;
+  // Substrate-level aggregates.
+  std::uint64_t ifq_drops = 0;         // drop-tail losses (congestion)
+  std::uint64_t mac_retry_drops = 0;   // retry-limit losses (link failure)
+  std::uint64_t phy_collisions = 0;
+  std::uint64_t channel_error_losses = 0;
+
+  double total_throughput_bps() const;
+  std::vector<double> flow_throughputs() const;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Paper defaults: 1460 B payload segments, 40 B ACKs (Sec. 5.3).
+inline constexpr std::uint32_t kPayloadBytes = 1460;
+inline constexpr std::uint32_t kSegmentBytes = 1500;
+
+}  // namespace muzha

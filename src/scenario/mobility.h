@@ -1,0 +1,104 @@
+// Node mobility models.
+//
+// The paper's evaluation pins nodes ("we don't consider the link failure
+// problem caused by mobility in this work") but names mobility support as
+// essential future work, and its Ch. 2 analysis of route failures assumes
+// it. These models move nodes by updating their PHY positions on a fixed
+// tick; the channel evaluates geometry per transmission, so movement
+// naturally produces link breaks, AODV route failures and re-discoveries.
+//
+//  * LinearMobility       — constant-velocity segments; deterministic, used
+//                           by tests to break links on cue.
+//  * RandomWaypointMobility — the classic MANET model: pick a waypoint
+//                           uniformly in a rectangle, travel at a uniform
+//                           random speed, pause, repeat.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual void start() = 0;
+};
+
+// Moves one node along a fixed velocity vector, optionally bouncing between
+// two endpoints.
+class LinearMobility final : public MobilityModel {
+ public:
+  struct Config {
+    double vx_mps = 0.0;
+    double vy_mps = 0.0;
+    SimTime tick = SimTime::from_ms(100);
+    SimTime stop_after = SimTime::max();
+  };
+
+  LinearMobility(Simulator& sim, Node& node, Config cfg)
+      : sim_(sim), node_(node), cfg_(cfg) {}
+
+  void start() override { schedule(); }
+
+  void set_velocity(double vx, double vy) {
+    cfg_.vx_mps = vx;
+    cfg_.vy_mps = vy;
+  }
+
+ private:
+  void schedule() {
+    sim_.schedule_in(cfg_.tick, [this] { tick(); });
+  }
+  void tick() {
+    if (sim_.now() >= cfg_.stop_after) return;
+    Position p = node_.device().phy().position();
+    double dt = cfg_.tick.to_seconds();
+    p.x += cfg_.vx_mps * dt;
+    p.y += cfg_.vy_mps * dt;
+    node_.device().phy().set_position(p);
+    schedule();
+  }
+
+  Simulator& sim_;
+  Node& node_;
+  Config cfg_;
+};
+
+// Random waypoint over a rectangle.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Config {
+    double min_x = 0.0, max_x = 1000.0;
+    double min_y = 0.0, max_y = 1000.0;
+    double min_speed_mps = 1.0;
+    double max_speed_mps = 10.0;
+    SimTime pause = SimTime::from_seconds(2.0);
+    SimTime tick = SimTime::from_ms(100);
+  };
+
+  RandomWaypointMobility(Simulator& sim, Node& node, Config cfg)
+      : sim_(sim), node_(node), cfg_(cfg) {}
+
+  void start() override;
+
+  Position waypoint() const { return waypoint_; }
+  double speed_mps() const { return speed_mps_; }
+
+ private:
+  void pick_waypoint();
+  void tick();
+
+  Simulator& sim_;
+  Node& node_;
+  Config cfg_;
+  Position waypoint_;
+  double speed_mps_ = 0.0;
+  bool paused_ = false;
+  SimTime pause_until_;
+};
+
+}  // namespace muzha

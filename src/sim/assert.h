@@ -1,0 +1,18 @@
+// Always-on invariant checks for the simulator.
+//
+// Simulation bugs usually manifest far from their cause; MUZHA_ASSERT keeps
+// checks enabled in release builds so broken invariants fail loudly at the
+// point of violation instead of producing silently wrong results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MUZHA_ASSERT(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "MUZHA_ASSERT failed at %s:%d: %s -- %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)

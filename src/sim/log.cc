@@ -1,0 +1,37 @@
+#include "sim/log.h"
+
+namespace muzha {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, SimTime now, const char* component,
+                 const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(sink_, "[%11.6f] %-5s %-8s ", now.to_seconds(),
+               level_name(level), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(sink_, fmt, args);
+  va_end(args);
+  std::fputc('\n', sink_);
+}
+
+}  // namespace muzha

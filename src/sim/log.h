@@ -1,0 +1,45 @@
+// Lightweight component-tagged logging.
+//
+// Logging is off (Warn) by default so hot paths stay cheap; tests and
+// debugging sessions raise the level per run. The sink is injectable so tests
+// can capture output.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  Logger() = default;
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Redirects output (default stderr). Pass nullptr to restore stderr.
+  void set_sink(std::FILE* sink) { sink_ = sink ? sink : stderr; }
+
+  void log(LogLevel level, SimTime now, const char* component, const char* fmt,
+           ...) __attribute__((format(printf, 5, 6)));
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::FILE* sink_ = stderr;
+};
+
+}  // namespace muzha
+
+// Convenience macro: `lg` is a Logger&, `now` a SimTime.
+#define MUZHA_LOG(lg, level, now, component, ...)          \
+  do {                                                     \
+    if ((lg).enabled(level)) {                             \
+      (lg).log(level, now, component, __VA_ARGS__);        \
+    }                                                      \
+  } while (0)

@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// All simulation randomness flows from a single seeded Rng owned by the
+// Simulator, so a (scenario, seed) pair fully determines a run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace muzha {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  void seed(std::uint64_t s) { engine_.seed(s); }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Exponentially distributed double with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace muzha

@@ -1,0 +1,61 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace muzha {
+
+EventId Scheduler::schedule_at(SimTime t, EventCallback cb) {
+  MUZHA_ASSERT(t >= now_, "cannot schedule an event in the past");
+  MUZHA_ASSERT(cb != nullptr, "event callback must be callable");
+  EventId id = next_id_++;
+  heap_.push(Event{t, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+void Scheduler::skip_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool Scheduler::step() {
+  skip_cancelled();
+  if (heap_.empty()) return false;
+  // Move the event out before running it: the callback may schedule new
+  // events and reallocate the heap.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  MUZHA_ASSERT(ev.time >= now_, "event heap yielded a past event");
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+std::uint64_t Scheduler::run_until(SimTime t_end) {
+  std::uint64_t n = 0;
+  for (;;) {
+    skip_cancelled();
+    if (heap_.empty()) break;
+    if (heap_.top().time > t_end) {
+      now_ = t_end;
+      break;
+    }
+    step();
+    ++n;
+  }
+  if (heap_.empty() && now_ < t_end && t_end != SimTime::max()) now_ = t_end;
+  return n;
+}
+
+}  // namespace muzha

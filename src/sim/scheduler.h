@@ -1,0 +1,82 @@
+// Discrete-event scheduler.
+//
+// A binary heap of (time, sequence) keyed events. Sequence numbers give FIFO
+// ordering for simultaneous events, which together with integer SimTime makes
+// runs fully deterministic. Cancellation is lazy: cancelled events stay in
+// the heap and are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+using EventCallback = std::function<void()>;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, EventCallback cb);
+
+  // Schedules `cb` to run `delay` from now (delay must be >= 0).
+  EventId schedule_in(SimTime delay, EventCallback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op, so callers may cancel unconditionally.
+  void cancel(EventId id);
+
+  // Runs events until the queue drains or `t_end` is passed. Events at
+  // exactly `t_end` are executed. Returns the number of events executed.
+  std::uint64_t run_until(SimTime t_end);
+
+  // Runs until the queue drains.
+  std::uint64_t run() { return run_until(SimTime::max()); }
+
+  // Executes at most one pending event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    EventCallback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled events off the top of the heap.
+  void skip_cancelled();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace muzha

@@ -1,0 +1,13 @@
+#include "sim/sim_time.h"
+
+#include <cstdio>
+
+namespace muzha {
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace muzha

@@ -1,0 +1,55 @@
+// Restartable one-shot timer built on the scheduler.
+//
+// Wraps the schedule/cancel dance used by every protocol timer (TCP RTO, MAC
+// CTS/ACK timeouts, AODV route lifetimes). The callback is set once; the
+// timer can then be scheduled, rescheduled and cancelled freely.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/assert.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_expire)
+      : sim_(sim), on_expire_(std::move(on_expire)) {
+    MUZHA_ASSERT(on_expire_ != nullptr, "timer callback must be callable");
+  }
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)schedules the timer to fire `delay` from now.
+  void schedule_in(SimTime delay) {
+    cancel();
+    expiry_ = sim_.now() + delay;
+    id_ = sim_.schedule_in(delay, [this] {
+      id_ = kInvalidEventId;
+      on_expire_();
+    });
+  }
+
+  void cancel() {
+    if (id_ != kInvalidEventId) {
+      sim_.cancel(id_);
+      id_ = kInvalidEventId;
+    }
+  }
+
+  bool pending() const { return id_ != kInvalidEventId; }
+
+  // Expiry time of the currently pending timer (meaningful iff pending()).
+  SimTime expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_expire_;
+  EventId id_ = kInvalidEventId;
+  SimTime expiry_;
+};
+
+}  // namespace muzha

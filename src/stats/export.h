@@ -1,0 +1,29 @@
+// Result export: CSV files and a matching gnuplot script, so bench output
+// can be plotted against the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/time_series.h"
+
+namespace muzha {
+
+struct NamedSeries {
+  std::string name;
+  TimeSeries series;
+};
+
+// Writes aligned series as CSV: a `t` column (union of sample times, step
+// semantics for missing points) plus one column per series. Returns false on
+// I/O failure.
+bool write_csv(const std::string& path, const std::vector<NamedSeries>& data);
+
+// Writes a gnuplot script that plots `csv_path` (as written by write_csv)
+// with one line per series.
+bool write_gnuplot_script(const std::string& path, const std::string& csv_path,
+                          const std::string& title,
+                          const std::vector<NamedSeries>& data,
+                          const std::string& ylabel = "value");
+
+}  // namespace muzha

@@ -1,0 +1,17 @@
+#include "stats/fairness.h"
+
+namespace muzha {
+
+double jain_fairness_index(std::span<const double> x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: degenerate but "equal"
+  double n = static_cast<double>(x.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+}  // namespace muzha

@@ -1,0 +1,14 @@
+// Jain's fairness index (Fig 5.14 of the paper; Jain, Chiu & Hawe 1984):
+//
+//   J(x) = (sum x_i)^2 / (n * sum x_i^2)
+//
+// J = 1 when all flows get equal throughput; J -> 1/n as one flow takes all.
+#pragma once
+
+#include <span>
+
+namespace muzha {
+
+double jain_fairness_index(std::span<const double> allocations);
+
+}  // namespace muzha

@@ -1,0 +1,31 @@
+#include "stats/time_series.h"
+
+namespace muzha {
+
+double CwndTracer::value_at(double t_s) const {
+  double v = 0.0;
+  for (const TimePoint& p : series_) {
+    if (p.t_s > t_s) break;
+    v = p.value;
+  }
+  return v;
+}
+
+void ThroughputSampler::record(double t_s, double bits) {
+  auto idx = static_cast<std::size_t>(t_s / bin_width_s_);
+  if (bins_.size() <= idx) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += bits;
+  total_bits_ += bits;
+}
+
+TimeSeries ThroughputSampler::series() const {
+  TimeSeries out;
+  out.reserve(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    out.push_back({(static_cast<double>(i) + 0.5) * bin_width_s_,
+                   bins_[i] / bin_width_s_});
+  }
+  return out;
+}
+
+}  // namespace muzha

@@ -1,0 +1,78 @@
+// Time-series collectors for the paper's figures.
+//
+// CwndTracer records every congestion-window change (Figs 5.2-5.7).
+// ThroughputSampler bins in-order deliveries at the sink into fixed windows
+// (Figs 5.19-5.22 throughput dynamics).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_sink.h"
+
+namespace muzha {
+
+struct TimePoint {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+using TimeSeries = std::vector<TimePoint>;
+
+// Records (time, cwnd) on every change of the attached agent's window.
+class CwndTracer {
+ public:
+  void attach(TcpAgent& agent) {
+    agent.set_cwnd_listener([this](SimTime t, double cwnd) {
+      series_.push_back({t.to_seconds(), cwnd});
+    });
+  }
+
+  const TimeSeries& series() const { return series_; }
+
+  // Appends a sample directly (normally driven via attach()).
+  void add(double t_s, double value) { series_.push_back({t_s, value}); }
+
+  // Value at time t (step interpolation); 0 before the first sample.
+  double value_at(double t_s) const;
+
+ private:
+  TimeSeries series_;
+};
+
+// Accumulates sink deliveries into fixed-width bins; series() reports the
+// throughput of each bin in bits/second.
+class ThroughputSampler {
+ public:
+  explicit ThroughputSampler(SimTime bin_width = SimTime::from_ms(500),
+                             std::uint32_t payload_bytes = 1460)
+      : bin_width_s_(bin_width.to_seconds()), payload_bytes_(payload_bytes) {}
+
+  void attach(TcpSink& sink) {
+    sink.set_delivery_listener(
+        [this](SimTime t, std::int64_t count, std::uint32_t) {
+          record(t.to_seconds(),
+                 static_cast<double>(count) * payload_bytes_ * 8.0);
+        });
+  }
+
+  // Completed-bin series in bits/second; call after the run.
+  TimeSeries series() const;
+
+  double total_bits() const { return total_bits_; }
+
+  // Accumulates `bits` into the bin containing `t_s` (normally driven via
+  // attach()).
+  void record(double t_s, double bits);
+
+ private:
+  double bin_width_s_;
+  std::uint32_t payload_bytes_;
+  std::vector<double> bins_;  // bits per bin
+  double total_bits_ = 0.0;
+};
+
+}  // namespace muzha

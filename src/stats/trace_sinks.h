@@ -1,0 +1,46 @@
+// Ready-made TraceSink implementations: in-memory (tests/analysis) and
+// NS-2-style text file.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace muzha {
+
+// Collects every event in memory.
+class VectorTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // Count of events of one kind (optionally for one packet uid).
+  std::size_t count(TraceEventKind kind, std::uint64_t uid = 0) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Writes one line per event:
+//   <time> <event> node=<n> uid=<u> <src>-><dst> proto=<p> size=<b> [tcp ...]
+class FileTraceSink final : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path);
+  ~FileTraceSink() override;
+  FileTraceSink(const FileTraceSink&) = delete;
+  FileTraceSink& operator=(const FileTraceSink&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  void on_event(const TraceEvent& ev) override;
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace muzha

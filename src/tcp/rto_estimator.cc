@@ -1,0 +1,31 @@
+#include "tcp/rto_estimator.h"
+
+namespace muzha {
+
+void RtoEstimator::sample(SimTime rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298: alpha = 1/8, beta = 1/4.
+    SimTime err = rtt - srtt_;
+    if (err < SimTime::zero()) err = SimTime::zero() - err;
+    rttvar_ = rttvar_.scaled(0.75) + err.scaled(0.25);
+    srtt_ = srtt_.scaled(0.875) + rtt.scaled(0.125);
+  }
+  rto_ = srtt_ + 4 * rttvar_;
+  clamp();
+}
+
+void RtoEstimator::backoff() {
+  rto_ = rto_ * 2;
+  clamp();
+}
+
+void RtoEstimator::clamp() {
+  if (rto_ < cfg_.min_rto) rto_ = cfg_.min_rto;
+  if (rto_ > cfg_.max_rto) rto_ = cfg_.max_rto;
+}
+
+}  // namespace muzha

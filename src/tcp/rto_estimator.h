@@ -1,0 +1,41 @@
+// Jacobson/Karels RTO estimation with Karn's algorithm handled by the caller
+// (retransmitted segments are never sampled) and exponential backoff on
+// timeout.
+#pragma once
+
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+struct RtoConfig {
+  SimTime initial_rto = SimTime::from_seconds(3.0);
+  SimTime min_rto = SimTime::from_ms(200);
+  SimTime max_rto = SimTime::from_seconds(60.0);
+};
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(RtoConfig cfg = {}) : cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  // Feeds one round-trip sample (never from a retransmitted segment).
+  void sample(SimTime rtt);
+
+  // Doubles the RTO after a retransmission timeout.
+  void backoff();
+
+  SimTime rto() const { return rto_; }
+  SimTime srtt() const { return srtt_; }
+  SimTime rttvar() const { return rttvar_; }
+  bool has_sample() const { return has_sample_; }
+
+ private:
+  void clamp();
+
+  RtoConfig cfg_;
+  SimTime rto_;
+  SimTime srtt_;
+  SimTime rttvar_;
+  bool has_sample_ = false;
+};
+
+}  // namespace muzha

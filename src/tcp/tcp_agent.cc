@@ -1,0 +1,151 @@
+#include "tcp/tcp_agent.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace muzha {
+
+TcpAgent::TcpAgent(Simulator& sim, Node& node, TcpConfig cfg)
+    : sim_(sim),
+      node_(node),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      rto_(cfg.rto),
+      rtx_timer_(sim, [this] { handle_timeout(); }) {
+  MUZHA_ASSERT(cfg_.dst != kInvalidNodeId, "TCP agent needs a destination");
+  MUZHA_ASSERT(cfg_.window >= 1, "window_ must be at least 1");
+}
+
+void TcpAgent::start() {
+  if (started_) return;
+  started_ = true;
+  node_.register_agent(cfg_.src_port, *this);
+  send_much();
+}
+
+int TcpAgent::effective_window() const {
+  int w = static_cast<int>(cwnd_);
+  if (w < 1) w = 1;
+  return std::min(w, cfg_.window);
+}
+
+void TcpAgent::set_cwnd(double v) {
+  if (v < 1.0) v = 1.0;
+  cwnd_ = v;
+  if (cwnd_listener_) cwnd_listener_(sim_.now(), cwnd_);
+}
+
+void TcpAgent::open_cwnd() {
+  if (cwnd_ < ssthresh_) {
+    set_cwnd(cwnd_ + 1.0);  // slow start: +1 per ACK
+  } else {
+    set_cwnd(cwnd_ + 1.0 / cwnd_);  // congestion avoidance: +1 per RTT
+  }
+}
+
+void TcpAgent::send_much() {
+  while (t_seqno_ <= highest_ack_ + effective_window()) {
+    if (cfg_.max_packets >= 0 && t_seqno_ >= cfg_.max_packets) break;
+    output(t_seqno_, /*is_retx=*/false);
+    ++t_seqno_;
+  }
+}
+
+void TcpAgent::retransmit(std::int64_t seq) { output(seq, /*is_retx=*/true); }
+
+void TcpAgent::output(std::int64_t seq, bool is_retx) {
+  // Any re-send of an already-transmitted segment is a retransmission — both
+  // explicit fast retransmits and go-back-N re-sends after a timeout.
+  if (is_retx || seq <= maxseq_) {
+    ++retransmissions_;
+    retx_seqs_.insert(seq);
+  }
+  PacketPtr p = node_.new_packet(cfg_.dst, IpProto::kTcp, cfg_.packet_size_bytes);
+  TcpHeader h;
+  h.flow = cfg_.flow;
+  h.src_port = cfg_.src_port;
+  h.dst_port = cfg_.dst_port;
+  h.is_ack = false;
+  h.seqno = seq;
+  h.ts = sim_.now();
+  p->l4 = h;
+  ++packets_sent_;
+  maxseq_ = std::max(maxseq_, seq);
+  if (!rtx_timer_.pending()) rtx_timer_.schedule_in(rto_.rto());
+  node_.send(std::move(p));
+}
+
+void TcpAgent::manage_rtx_timer() {
+  if (outstanding() > 0) {
+    rtx_timer_.schedule_in(rto_.rto());
+  } else {
+    rtx_timer_.cancel();
+  }
+}
+
+void TcpAgent::receive(PacketPtr pkt) {
+  MUZHA_ASSERT(pkt->has_tcp(), "TCP agent received non-TCP packet");
+  const TcpHeader& h = pkt->tcp();
+  if (!h.is_ack) return;  // we are a pure sender
+
+  if (h.seqno > highest_ack_) {
+    std::int64_t newly_acked = h.seqno - highest_ack_;
+    highest_ack_ = h.seqno;
+    dupacks_ = 0;
+
+    // Karn-safe RTT sample: the echoed timestamp belongs to the data segment
+    // that triggered this ACK; skip if that segment was ever retransmitted.
+    if (retx_seqs_.find(h.seqno) == retx_seqs_.end() &&
+        h.ts_echo > SimTime::zero()) {
+      rto_.sample(sim_.now() - h.ts_echo);
+    }
+    // Bound the Karn set: acked segments can never be sampled again.
+    if (retx_seqs_.size() > 1024) {
+      std::erase_if(retx_seqs_,
+                    [this](std::int64_t s) { return s <= highest_ack_; });
+    }
+
+    on_new_ack(h, newly_acked);
+    manage_rtx_timer();
+    send_much();
+    return;
+  }
+
+  if (h.seqno == highest_ack_) {
+    ++dupacks_;
+    on_dup_ack(h);
+    return;
+  }
+  on_old_ack(h);
+}
+
+void TcpAgent::handle_timeout() {
+  if (outstanding() <= 0 &&
+      (cfg_.max_packets < 0 || highest_ack_ + 1 < cfg_.max_packets)) {
+    // Window emptied by ACK reordering; nothing to recover.
+    return;
+  }
+  ++timeouts_;
+  rto_.backoff();
+  dupacks_ = 0;
+  on_timeout();
+  rtx_timer_.schedule_in(rto_.rto());
+}
+
+void TcpAgent::go_back_n() {
+  t_seqno_ = highest_ack_ + 1;
+  retransmit(t_seqno_);
+  ++t_seqno_;
+}
+
+void TcpAgent::on_timeout() {
+  // Classic Tahoe-style restart: halve ssthresh, collapse to one segment and
+  // go back to the first unacknowledged segment.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  set_cwnd(1.0);
+  exit_recovery_bookkeeping();
+  go_back_n();
+}
+
+}  // namespace muzha

@@ -1,0 +1,146 @@
+#include "tcp/tcp_sink.h"
+
+#include "sim/assert.h"
+
+namespace muzha {
+
+TcpSink::TcpSink(Simulator& sim, Node& node, Config cfg)
+    : sim_(sim),
+      node_(node),
+      cfg_(cfg),
+      delack_timer_(sim, [this] { on_delack_timer(); }) {}
+
+void TcpSink::on_delack_timer() {
+  if (!pending_ack_data_) return;
+  PacketPtr data = std::move(pending_ack_data_);
+  send_ack(*data, /*is_dup=*/false);
+}
+
+void TcpSink::start() {
+  if (started_) return;
+  started_ = true;
+  node_.register_agent(cfg_.port, *this);
+}
+
+void TcpSink::receive(PacketPtr pkt) {
+  MUZHA_ASSERT(pkt->has_tcp(), "sink received non-TCP packet");
+  const TcpHeader& h = pkt->tcp();
+  if (h.is_ack) return;
+
+  std::int64_t s = h.seqno;
+  bool is_dup = false;
+  if (s == next_expected_) {
+    std::int64_t before = next_expected_;
+    ++next_expected_;
+    while (!out_of_order_buf_.empty() &&
+           *out_of_order_buf_.begin() == next_expected_) {
+      out_of_order_buf_.erase(out_of_order_buf_.begin());
+      ++next_expected_;
+    }
+    if (on_delivery_) {
+      on_delivery_(sim_.now(), next_expected_ - before, pkt->size_bytes);
+    }
+  } else if (s > next_expected_) {
+    ++out_of_order_;
+    auto [it, inserted] = out_of_order_buf_.insert(s);
+    (void)it;
+    if (!inserted) ++duplicates_;
+    is_dup = true;  // generates a duplicate cumulative ACK
+  } else {
+    // Already delivered (sender retransmitted needlessly).
+    ++duplicates_;
+    is_dup = true;
+  }
+
+  if (cfg_.delayed_acks && !is_dup) {
+    if (pending_ack_data_) {
+      // Second in-order segment: release one cumulative ACK for both.
+      pending_ack_data_.reset();
+      delack_timer_.cancel();
+      send_ack(*pkt, /*is_dup=*/false);
+    } else {
+      ++acks_delayed_;
+      pending_ack_data_ = std::move(pkt);
+      delack_timer_.schedule_in(cfg_.delack_timeout);
+    }
+    return;
+  }
+  if (cfg_.delayed_acks && pending_ack_data_) {
+    // An out-of-order arrival flushes any withheld ACK first.
+    PacketPtr held = std::move(pending_ack_data_);
+    delack_timer_.cancel();
+    send_ack(*held, /*is_dup=*/false);
+  }
+  send_ack(*pkt, is_dup);
+}
+
+void TcpSink::fill_sacks(TcpHeader& ack, std::int64_t trigger_seq) const {
+  // Report contiguous runs of buffered segments, the run containing the most
+  // recent arrival first (RFC 2018).
+  if (out_of_order_buf_.empty()) return;
+  struct Run {
+    std::int64_t begin, end;
+    bool has_trigger;
+  };
+  std::vector<Run> runs;
+  auto it = out_of_order_buf_.begin();
+  std::int64_t begin = *it, prev = *it;
+  bool has_trigger = (*it == trigger_seq);
+  for (++it; it != out_of_order_buf_.end(); ++it) {
+    if (*it == prev + 1) {
+      prev = *it;
+      if (*it == trigger_seq) has_trigger = true;
+      continue;
+    }
+    runs.push_back({begin, prev + 1, has_trigger});
+    begin = prev = *it;
+    has_trigger = (*it == trigger_seq);
+  }
+  runs.push_back({begin, prev + 1, has_trigger});
+
+  // Trigger run first, then most recent others up to the block limit.
+  for (const Run& r : runs) {
+    if (r.has_trigger) ack.sacks.push_back({r.begin, r.end});
+  }
+  for (auto rit = runs.rbegin(); rit != runs.rend(); ++rit) {
+    if (static_cast<int>(ack.sacks.size()) >= cfg_.max_sack_blocks) break;
+    if (rit->has_trigger) continue;
+    ack.sacks.push_back({rit->begin, rit->end});
+  }
+}
+
+void TcpSink::customize_ack(TcpHeader&, const Packet&, bool) {}
+
+void TcpSink::send_ack(const Packet& data, bool is_dup) {
+  PacketPtr ack =
+      node_.new_packet(data.ip.src, IpProto::kTcp, cfg_.ack_size_bytes);
+  TcpHeader h;
+  h.flow = data.tcp().flow;
+  h.src_port = cfg_.port;
+  h.dst_port = data.tcp().src_port;
+  h.is_ack = true;
+  h.seqno = next_expected_ - 1;
+  h.ts_echo = data.tcp().ts;
+  // Muzha feedback: echo the path-minimum DRAI carried by this data packet,
+  // and mark duplicate ACKs caused by congestion-region packets.
+  h.mrai = data.ip.avbw_s;
+  h.marked = is_dup && (data.ip.congestion_marked ||
+                        data.ip.avbw_s <= kDraiModerateDecel);
+  // Jersey-style CW echo: router mark reflected on every ACK.
+  h.ce_echo = data.ip.congestion_marked;
+  // RoVegas: forward-path queueing delay accumulated by the devices.
+  h.qdelay_echo = data.ip.accum_queue_delay;
+  // TCP-DOOR: duplicate-ACK stream sequence (resets on fresh ACKs).
+  if (is_dup) {
+    h.dup_seq = ++dup_seq_;
+  } else {
+    dup_seq_ = 0;
+  }
+  fill_sacks(h, data.tcp().seqno);
+  customize_ack(h, data, is_dup);
+  ack->l4 = std::move(h);
+  ++acks_sent_;
+  node_.send(std::move(ack));
+}
+
+}  // namespace muzha

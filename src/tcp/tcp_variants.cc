@@ -1,0 +1,175 @@
+#include "tcp/tcp_variants.h"
+
+#include <algorithm>
+
+namespace muzha {
+
+// ---------------------------------------------------------------------------
+// Tahoe
+// ---------------------------------------------------------------------------
+
+void TcpTahoe::on_new_ack(const TcpHeader&, std::int64_t) {
+  exit_recovery_bookkeeping();
+  open_cwnd();
+}
+
+void TcpTahoe::on_dup_ack(const TcpHeader&) {
+  if (in_recovery() || dupacks() != config().dupack_threshold) return;
+  // Fast retransmit, then restart from slow start (no fast recovery).
+  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  set_cwnd(1.0);
+  enter_recovery_bookkeeping();
+  retransmit(highest_ack() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reno
+// ---------------------------------------------------------------------------
+
+void TcpReno::on_new_ack(const TcpHeader&, std::int64_t) {
+  if (in_recovery()) {
+    // Any new ACK ends Reno's recovery; deflate to ssthresh.
+    exit_recovery_bookkeeping();
+    set_cwnd(ssthresh());
+    return;
+  }
+  open_cwnd();
+}
+
+void TcpReno::on_dup_ack(const TcpHeader&) {
+  if (in_recovery()) {
+    // Window inflation: each dup ACK signals a segment left the network.
+    set_cwnd(cwnd() + 1.0);
+    send_much();
+    return;
+  }
+  if (dupacks() != config().dupack_threshold) return;
+  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  enter_recovery_bookkeeping();
+  set_cwnd(ssthresh() + static_cast<double>(config().dupack_threshold));
+  retransmit(highest_ack() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// NewReno
+// ---------------------------------------------------------------------------
+
+void TcpNewReno::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  if (in_recovery()) {
+    if (h.seqno >= recover_point()) {
+      // Full ACK: recovery complete.
+      exit_recovery_bookkeeping();
+      set_cwnd(ssthresh());
+      return;
+    }
+    // Partial ACK: the next hole is also lost; retransmit it immediately and
+    // stay in recovery (RFC 3782), deflating by the amount acknowledged.
+    retransmit(h.seqno + 1);
+    set_cwnd(std::max(cwnd() - static_cast<double>(newly_acked) + 1.0, 1.0));
+    return;
+  }
+  open_cwnd();
+}
+
+void TcpNewReno::on_dup_ack(const TcpHeader&) {
+  if (in_recovery()) {
+    set_cwnd(cwnd() + 1.0);
+    send_much();
+    return;
+  }
+  if (dupacks() != config().dupack_threshold) return;
+  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  enter_recovery_bookkeeping();
+  set_cwnd(ssthresh() + static_cast<double>(config().dupack_threshold));
+  retransmit(highest_ack() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// SACK
+// ---------------------------------------------------------------------------
+
+void TcpSack::absorb_sacks(const TcpHeader& h) {
+  for (const SackBlock& b : h.sacks) {
+    for (std::int64_t s = b.begin; s < b.end; ++s) {
+      if (s > highest_ack()) sacked_.insert(s);
+    }
+  }
+  // Garbage-collect below the cumulative ACK.
+  while (!sacked_.empty() && *sacked_.begin() <= highest_ack()) {
+    sacked_.erase(sacked_.begin());
+  }
+}
+
+std::int64_t TcpSack::next_hole(std::int64_t above) const {
+  for (std::int64_t s = std::max(above, highest_ack() + 1);
+       s <= recover_point(); ++s) {
+    if (sacked_.find(s) == sacked_.end()) return s;
+  }
+  return -1;
+}
+
+void TcpSack::try_to_send() {
+  while (pipe_ < cwnd()) {
+    std::int64_t hole = next_hole(last_hole_sent_ + 1);
+    if (hole >= 0) {
+      last_hole_sent_ = hole;
+      retransmit(hole);
+      pipe_ += 1.0;
+      continue;
+    }
+    // No holes left: send new data if the advertised window allows.
+    std::int64_t before = next_seq();
+    if (outstanding() >= effective_window()) break;
+    send_much();
+    if (next_seq() == before) break;
+    pipe_ += static_cast<double>(next_seq() - before);
+  }
+}
+
+void TcpSack::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
+  absorb_sacks(h);
+  if (in_recovery()) {
+    if (h.seqno >= recover_point()) {
+      exit_recovery_bookkeeping();
+      sacked_.clear();
+      pipe_ = 0;
+      last_hole_sent_ = -1;
+      set_cwnd(ssthresh());
+      return;
+    }
+    // Partial ACK: the retransmission and the original both left the pipe.
+    pipe_ = std::max(0.0, pipe_ - 2.0);
+    (void)newly_acked;
+    try_to_send();
+    return;
+  }
+  open_cwnd();
+}
+
+void TcpSack::on_dup_ack(const TcpHeader& h) {
+  absorb_sacks(h);
+  if (in_recovery()) {
+    pipe_ = std::max(0.0, pipe_ - 1.0);
+    try_to_send();
+    return;
+  }
+  if (dupacks() != config().dupack_threshold) return;
+  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  enter_recovery_bookkeeping();
+  set_cwnd(ssthresh());
+  // Pipe: segments in flight minus those known to have left the network.
+  pipe_ = std::max(
+      0.0, static_cast<double>(outstanding()) -
+               static_cast<double>(sacked_.size()) - 1.0);
+  last_hole_sent_ = -1;
+  try_to_send();
+}
+
+void TcpSack::on_timeout() {
+  sacked_.clear();
+  pipe_ = 0;
+  last_hole_sent_ = -1;
+  TcpAgent::on_timeout();
+}
+
+}  // namespace muzha

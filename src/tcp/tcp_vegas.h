@@ -1,0 +1,57 @@
+// TCP Vegas: delay-based congestion avoidance (Brakmo & Peterson).
+//
+// Estimates the number of segments queued in the network as
+//   diff = cwnd * (1 - baseRTT / RTT)
+// once per RTT and nudges the window to keep alpha <= diff <= beta. Slow
+// start doubles every *other* RTT and terminates as soon as diff exceeds
+// gamma, before losses occur — the conservative behaviour behind both its
+// low retransmission counts and its small steady-state window in the
+// paper's long-chain results.
+#pragma once
+
+#include "tcp/tcp_agent.h"
+
+namespace muzha {
+
+struct VegasConfig {
+  double alpha = 1.0;
+  double beta = 3.0;
+  double gamma = 1.0;
+};
+
+class TcpVegas : public TcpAgent {
+ public:
+  TcpVegas(Simulator& sim, Node& node, TcpConfig cfg, VegasConfig vcfg = {});
+
+  double base_rtt_s() const { return base_rtt_s_; }
+  double last_diff() const { return last_diff_; }
+
+ protected:
+  void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
+  void on_dup_ack(const TcpHeader& h) override;
+  void on_timeout() override;
+
+  // Extension points for router-assisted Vegas variants (RoVegas).
+  // Called for every in-sequence ACK before epoch-boundary processing.
+  virtual void note_ack(const TcpHeader& h) { (void)h; }
+  // Estimated number of segments queued in the network this epoch.
+  virtual double compute_diff() const;
+  // Called when an epoch ends, after the window adjustment.
+  virtual void on_epoch_reset() {}
+
+  const VegasConfig& vegas_config() const { return vcfg_; }
+  double base_rtt() const { return base_rtt_s_; }
+  double epoch_rtt() const { return epoch_rtt_s_; }
+
+ private:
+  void end_of_epoch();
+
+  VegasConfig vcfg_;
+  double base_rtt_s_ = 0.0;   // minimum RTT ever observed
+  double epoch_rtt_s_ = 0.0;  // minimum RTT within the current epoch
+  std::int64_t epoch_end_seq_ = 0;
+  bool ss_grow_this_epoch_ = true;  // slow start doubles every other RTT
+  double last_diff_ = 0.0;
+};
+
+}  // namespace muzha

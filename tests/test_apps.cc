@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "app/cbr.h"
+#include "app/ftp.h"
+#include "routing/static_routing.h"
+#include "scenario/network.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_variants.h"
+
+namespace muzha {
+namespace {
+
+TEST(CbrApp, SendsAtConfiguredRate) {
+  Network net(1);
+  build_chain(net, 1, 200.0);
+  net.use_static_routing();
+  net.static_routing(0).add_route(1, 1);
+
+  CbrApp::Config cfg;
+  cfg.dst = net.node(1).id();
+  cfg.packet_size_bytes = 500;
+  cfg.rate_bps = 400'000;  // 100 packets/s
+  cfg.start_time = SimTime::from_seconds(1.0);
+  CbrApp cbr(net.sim(), net.node(0), cfg);
+  cbr.install();
+
+  net.run_until(SimTime::from_seconds(3.0));
+  // Two seconds at 100 pkt/s.
+  EXPECT_NEAR(static_cast<double>(cbr.packets_sent()), 200.0, 5.0);
+  // Destination saw them (counted as local deliveries even with no agent).
+  EXPECT_GT(net.node(1).delivered_local(), 150u);
+}
+
+TEST(CbrApp, StopsAtStopTime) {
+  Network net(1);
+  build_chain(net, 1, 200.0);
+  net.use_static_routing();
+  net.static_routing(0).add_route(1, 1);
+  CbrApp::Config cfg;
+  cfg.dst = net.node(1).id();
+  cfg.rate_bps = 409'600;
+  cfg.start_time = SimTime::zero();
+  cfg.stop_time = SimTime::from_seconds(1.0);
+  CbrApp cbr(net.sim(), net.node(0), cfg);
+  cbr.install();
+  net.run_until(SimTime::from_seconds(5.0));
+  std::uint64_t at_stop = cbr.packets_sent();
+  EXPECT_GT(at_stop, 50u);
+  EXPECT_LT(at_stop, 150u);  // nothing after t = 1 s
+}
+
+TEST(FtpApp, StartsAgentAtConfiguredTime) {
+  Network net(1);
+  build_chain(net, 1, 200.0);
+  net.use_static_routing();
+  net.static_routing(0).add_route(1, 1);
+  net.static_routing(1).add_route(0, 0);
+
+  TcpConfig tc;
+  tc.dst = net.node(1).id();
+  tc.src_port = 1000;
+  tc.dst_port = 2000;
+  TcpNewReno agent(net.sim(), net.node(0), tc);
+  TcpSink::Config sc;
+  sc.port = 2000;
+  TcpSink sink(net.sim(), net.node(1), sc);
+  sink.start();
+
+  FtpApp ftp(net.sim(), agent, SimTime::from_seconds(2.0));
+  ftp.install();
+  EXPECT_EQ(ftp.start_time(), SimTime::from_seconds(2.0));
+
+  net.run_until(SimTime::from_seconds(1.9));
+  EXPECT_EQ(agent.packets_sent(), 0u);  // not started yet
+  net.run_until(SimTime::from_seconds(5.0));
+  EXPECT_GT(agent.packets_sent(), 50u);
+  EXPECT_GT(sink.delivered(), 50);
+}
+
+TEST(CbrBackgroundTraffic, DegradesTcpThroughput) {
+  // TCP alone vs TCP + CBR cross-load on a 2-hop chain.
+  auto run = [](bool with_cbr) {
+    Network net(3);
+    build_chain(net, 2, 200.0);
+    net.use_static_routing();
+    net.static_routing(0).add_route(2, 1);
+    net.static_routing(1).add_route(2, 2);
+    net.static_routing(1).add_route(0, 0);
+    net.static_routing(2).add_route(0, 1);
+
+    TcpConfig tc;
+    tc.dst = net.node(2).id();
+    tc.src_port = 1000;
+    tc.dst_port = 2000;
+    tc.window = 8;
+    TcpNewReno agent(net.sim(), net.node(0), tc);
+    TcpSink::Config sc;
+    sc.port = 2000;
+    TcpSink sink(net.sim(), net.node(2), sc);
+    sink.start();
+    net.sim().schedule_at(SimTime::zero(), [&] { agent.start(); });
+
+    CbrApp::Config cc;
+    cc.dst = net.node(0).id();
+    cc.packet_size_bytes = 1000;
+    cc.rate_bps = 600'000;
+    cc.start_time = SimTime::zero();
+    CbrApp cbr(net.sim(), net.node(2), cc);
+    if (with_cbr) cbr.install();
+
+    net.run_until(SimTime::from_seconds(10));
+    return sink.delivered();
+  };
+  std::int64_t clean = run(false);
+  std::int64_t loaded = run(true);
+  EXPECT_GT(clean, 100);
+  EXPECT_LT(loaded, clean);
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,54 @@
+#include "sim/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace muzha {
+namespace {
+
+std::string capture(Logger& lg, LogLevel level, const char* msg) {
+  std::string path = "/tmp/muzha_log_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  lg.set_sink(f);
+  lg.log(level, SimTime::from_seconds(1.5), "mac", "%s", msg);
+  std::fclose(f);
+  lg.set_sink(nullptr);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+TEST(Logger, DefaultLevelSuppressesDebug) {
+  Logger lg;
+  EXPECT_FALSE(lg.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(lg.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(lg.enabled(LogLevel::kError));
+  EXPECT_EQ(capture(lg, LogLevel::kDebug, "hidden"), "");
+}
+
+TEST(Logger, FormatsTimeComponentAndMessage) {
+  Logger lg;
+  std::string line = capture(lg, LogLevel::kError, "boom 42");
+  EXPECT_NE(line.find("1.500000"), std::string::npos);
+  EXPECT_NE(line.find("ERROR"), std::string::npos);
+  EXPECT_NE(line.find("mac"), std::string::npos);
+  EXPECT_NE(line.find("boom 42"), std::string::npos);
+}
+
+TEST(Logger, LevelChangeTakesEffect) {
+  Logger lg;
+  lg.set_level(LogLevel::kTrace);
+  EXPECT_TRUE(lg.enabled(LogLevel::kDebug));
+  EXPECT_NE(capture(lg, LogLevel::kDebug, "now visible"), "");
+  lg.set_level(LogLevel::kOff);
+  EXPECT_FALSE(lg.enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,158 @@
+// Protocol-timing tests for the 802.11 DCF MAC: frame airtimes, IFS gaps,
+// NAV arithmetic and contention-window behaviour.
+#include <gtest/gtest.h>
+
+#include "mac/mac80211.h"
+#include "phy/channel.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+namespace {
+
+PacketPtr ip_packet(std::uint32_t bytes, NodeId src, NodeId dst) {
+  auto p = std::make_unique<Packet>();
+  p->size_bytes = bytes;
+  p->ip.src = src;
+  p->ip.dst = dst;
+  return p;
+}
+
+class MacTimingTest : public ::testing::Test {
+ protected:
+  struct Station {
+    std::unique_ptr<WirelessPhy> phy;
+    std::unique_ptr<Mac80211> mac;
+    std::vector<std::pair<SimTime, PacketPtr>> rx;
+    std::vector<SimTime> tx_done_times;
+  };
+
+  Station& add(NodeId id, Position pos) {
+    auto st = std::make_unique<Station>();
+    st->phy = std::make_unique<WirelessPhy>(sim, channel, id, pos);
+    st->mac = std::make_unique<Mac80211>(sim, *st->phy, MacParams{});
+    Station* raw = st.get();
+    st->mac->set_rx_callback([raw, this](PacketPtr pkt) {
+      raw->rx.emplace_back(sim.now(), std::move(pkt));
+    });
+    st->mac->set_tx_done_callback([raw, this](bool) {
+      raw->tx_done_times.push_back(sim.now());
+    });
+    stations.push_back(std::move(st));
+    return *stations.back();
+  }
+
+  Simulator sim{1};
+  PhyParams params;
+  Channel channel{sim, params};
+  std::vector<std::unique_ptr<Station>> stations;
+};
+
+TEST_F(MacTimingTest, FourWayExchangeTakesExpectedAirtime) {
+  // First transmission from a cold MAC: DIFS + zero backoff, then
+  // RTS/SIFS/CTS/SIFS/DATA/SIFS/ACK + propagation.
+  Station& a = add(0, {0, 0});
+  Station& b = add(1, {200, 0});
+  a.mac->transmit(ip_packet(1460, 0, 1), 1);
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_EQ(a.tx_done_times.size(), 1u);
+  ASSERT_EQ(b.rx.size(), 1u);
+
+  WirelessPhy& phy = *a.phy;
+  SimTime difs = SimTime::from_us(50);
+  SimTime sifs = SimTime::from_us(10);
+  SimTime rts = phy.tx_duration(kMacRtsBytes, true);
+  SimTime cts = phy.tx_duration(kMacCtsBytes, true);
+  SimTime data = phy.tx_duration(1460 + kMacDataOverheadBytes, false);
+  SimTime ack = phy.tx_duration(kMacAckBytes, true);
+  SimTime expected = difs + rts + sifs + cts + sifs + data + sifs + ack;
+  // Allow propagation delays (~0.7 us per hop of 200 m, 6 crossings).
+  SimTime measured = a.tx_done_times[0];
+  EXPECT_GE(measured, expected);
+  EXPECT_LE(measured, expected + SimTime::from_us(10));
+}
+
+TEST_F(MacTimingTest, DataDeliveredBeforeMacAckCompletes) {
+  Station& a = add(0, {0, 0});
+  Station& b = add(1, {200, 0});
+  a.mac->transmit(ip_packet(1000, 0, 1), 1);
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_EQ(b.rx.size(), 1u);
+  // The payload is handed up at DATA end; the sender finishes one
+  // SIFS + ACK later.
+  EXPECT_LT(b.rx[0].first, a.tx_done_times[0]);
+  SimTime gap = a.tx_done_times[0] - b.rx[0].first;
+  SimTime sifs_ack = SimTime::from_us(10) +
+                     a.phy->tx_duration(kMacAckBytes, true);
+  EXPECT_GE(gap, sifs_ack);
+  EXPECT_LE(gap, sifs_ack + SimTime::from_us(5));
+}
+
+TEST_F(MacTimingTest, BroadcastSkipsRtsAndAck) {
+  Station& a = add(0, {0, 0});
+  add(1, {200, 0});
+  a.mac->transmit(ip_packet(500, 0, kBroadcastId), kBroadcastId);
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_EQ(a.tx_done_times.size(), 1u);
+  // DIFS + broadcast data at the basic rate; no control frames.
+  SimTime expected = SimTime::from_us(50) +
+                     a.phy->tx_duration(500 + kMacDataOverheadBytes, true);
+  EXPECT_GE(a.tx_done_times[0], expected);
+  EXPECT_LE(a.tx_done_times[0], expected + SimTime::from_us(5));
+  EXPECT_EQ(a.mac->rts_sent(), 0u);
+}
+
+TEST_F(MacTimingTest, RetryTimeoutAndBackoffBounds) {
+  // RTS to a nonexistent station: 7 attempts, growing CW. The whole failure
+  // must take at least 7 * (DIFS + RTS + timeout) and at most that plus the
+  // maximum possible backoff sum.
+  Station& a = add(0, {0, 0});
+  a.mac->transmit(ip_packet(1000, 0, 9), 9);
+  sim.run_until(SimTime::from_seconds(10));
+  ASSERT_EQ(a.tx_done_times.size(), 1u);
+  MacParams mp;
+  SimTime rts = a.phy->tx_duration(kMacRtsBytes, true);
+  SimTime cts = a.phy->tx_duration(kMacCtsBytes, true);
+  SimTime timeout = mp.sifs + cts + mp.timeout_guard;
+  SimTime floor = 7 * (mp.difs + rts + timeout);
+  // Max backoff: 31+63+127+255+511+1023+1023 slots of 20 us.
+  SimTime ceil = floor + SimTime::from_us(20 * (31 + 63 + 127 + 255 + 511 +
+                                                1023 + 1023));
+  EXPECT_GE(a.tx_done_times[0], floor);
+  EXPECT_LE(a.tx_done_times[0], ceil);
+}
+
+TEST_F(MacTimingTest, NavBlocksBystanderForWholeExchange) {
+  // c hears a's RTS; its own transmission must not start before a's
+  // exchange (RTS+CTS+DATA+ACK) completes.
+  Station& a = add(0, {0, 0});
+  Station& b = add(1, {200, 0});
+  Station& c = add(2, {-100, 0});
+  Station& d = add(3, {-300, 0});
+  (void)b;
+  (void)d;
+  a.mac->transmit(ip_packet(1460, 0, 1), 1);
+  // c wants to talk to d shortly after a's RTS is on the air.
+  sim.schedule_in(SimTime::from_us(500),
+                  [&] { c.mac->transmit(ip_packet(1460, 2, 3), 3); });
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_EQ(a.tx_done_times.size(), 1u);
+  ASSERT_EQ(c.tx_done_times.size(), 1u);
+  EXPECT_GT(c.tx_done_times[0], a.tx_done_times[0]);
+}
+
+TEST_F(MacTimingTest, SecondFrameWaitsForPostBackoff) {
+  // Two back-to-back frames: the second must not start before
+  // DIFS after the first ACK completes.
+  Station& a = add(0, {0, 0});
+  Station& b = add(1, {200, 0});
+  a.mac->transmit(ip_packet(500, 0, 1), 1);
+  sim.run_until(SimTime::from_ms(50));
+  SimTime first_done = a.tx_done_times[0];
+  a.mac->transmit(ip_packet(500, 0, 1), 1);
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_EQ(b.rx.size(), 2u);
+  EXPECT_GE(a.tx_done_times[1] - first_done, SimTime::from_us(50));
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,94 @@
+#include "pkt/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace muzha {
+namespace {
+
+TEST(Packet, MakePacketAssignsFreshUids) {
+  std::uint64_t counter = 0;
+  PacketPtr a = make_packet(counter);
+  PacketPtr b = make_packet(counter);
+  EXPECT_EQ(a->uid, 1u);
+  EXPECT_EQ(b->uid, 2u);
+}
+
+TEST(Packet, CloneKeepsUidAndHeaders) {
+  std::uint64_t counter = 0;
+  PacketPtr p = make_packet(counter);
+  p->size_bytes = 1500;
+  p->ip.src = 3;
+  p->ip.dst = 9;
+  p->ip.avbw_s = kDraiModerateAccel;
+  p->ip.congestion_marked = true;
+  TcpHeader h;
+  h.seqno = 77;
+  h.sacks.push_back({10, 12});
+  p->l4 = h;
+
+  PacketPtr c = clone_packet(*p);
+  EXPECT_EQ(c->uid, p->uid);
+  EXPECT_EQ(c->size_bytes, 1500u);
+  EXPECT_EQ(c->ip.src, 3u);
+  EXPECT_EQ(c->ip.avbw_s, kDraiModerateAccel);
+  EXPECT_TRUE(c->ip.congestion_marked);
+  ASSERT_TRUE(c->has_tcp());
+  EXPECT_EQ(c->tcp().seqno, 77);
+  ASSERT_EQ(c->tcp().sacks.size(), 1u);
+  EXPECT_EQ(c->tcp().sacks[0], (SackBlock{10, 12}));
+
+  // Deep copy: mutating the clone leaves the original untouched.
+  c->tcp().seqno = 78;
+  EXPECT_EQ(p->tcp().seqno, 77);
+}
+
+TEST(Packet, L4VariantAccessors) {
+  Packet p;
+  EXPECT_FALSE(p.has_tcp());
+  EXPECT_FALSE(p.has_aodv());
+  p.l4 = TcpHeader{};
+  EXPECT_TRUE(p.has_tcp());
+  EXPECT_FALSE(p.has_aodv());
+  AodvMessage m;
+  m.body = AodvRreq{};
+  p.l4 = m;
+  EXPECT_TRUE(p.has_aodv());
+  EXPECT_TRUE(p.aodv().is_rreq());
+  EXPECT_FALSE(p.aodv().is_rrep());
+}
+
+TEST(Packet, AodvMessageVariants) {
+  AodvMessage m;
+  m.body = AodvRrep{1, 2, 3, 4};
+  EXPECT_TRUE(m.is_rrep());
+  EXPECT_EQ(m.rrep().dest_seq, 3u);
+  m.body = AodvRerr{{{5, 6}}};
+  EXPECT_TRUE(m.is_rerr());
+  ASSERT_EQ(m.rerr().unreachable.size(), 1u);
+  EXPECT_EQ(m.rerr().unreachable[0].dest, 5u);
+}
+
+TEST(Packet, DefaultIpHeaderIsMuzhaNeutral) {
+  Packet p;
+  // AVBW-S starts at the maximum recommendation and unmarked, so a path with
+  // no Muzha routers echoes "aggressive acceleration, no congestion".
+  EXPECT_EQ(p.ip.avbw_s, kDraiAggressiveAccel);
+  EXPECT_FALSE(p.ip.congestion_marked);
+}
+
+TEST(Packet, MacFrameNames) {
+  EXPECT_STREQ(mac_frame_name(MacFrameType::kData), "DATA");
+  EXPECT_STREQ(mac_frame_name(MacFrameType::kRts), "RTS");
+  EXPECT_STREQ(mac_frame_name(MacFrameType::kCts), "CTS");
+  EXPECT_STREQ(mac_frame_name(MacFrameType::kAck), "ACK");
+}
+
+TEST(Packet, DraiLevelOrdering) {
+  EXPECT_LT(kDraiAggressiveDecel, kDraiModerateDecel);
+  EXPECT_LT(kDraiModerateDecel, kDraiStabilize);
+  EXPECT_LT(kDraiStabilize, kDraiModerateAccel);
+  EXPECT_LT(kDraiModerateAccel, kDraiAggressiveAccel);
+}
+
+}  // namespace
+}  // namespace muzha

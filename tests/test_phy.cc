@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "phy/wireless_phy.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+namespace {
+
+PacketPtr data_packet(std::uint32_t bytes, NodeId src = 0,
+                      NodeId dst = kBroadcastId) {
+  auto p = std::make_unique<Packet>();
+  p->size_bytes = bytes;
+  p->mac.type = MacFrameType::kData;
+  p->mac.src = src;
+  p->mac.dst = dst;
+  return p;
+}
+
+struct RxLog {
+  int ok = 0;
+  int corrupted = 0;
+  PacketPtr last;
+  void attach(WirelessPhy& phy) {
+    phy.set_rx_callback([this](PacketPtr pkt, bool corr) {
+      if (corr) {
+        ++corrupted;
+      } else {
+        ++ok;
+        last = std::move(pkt);
+      }
+    });
+  }
+};
+
+class PhyTest : public ::testing::Test {
+ protected:
+  Simulator sim{1};
+  PhyParams params;
+  Channel channel{sim, params};
+};
+
+TEST_F(PhyTest, TxDurationIncludesPlcpAndRate) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  // 250 bytes at 2 Mbps = 1 ms + 192 us PLCP.
+  EXPECT_EQ(a.tx_duration(250, false), SimTime::from_us(1192));
+  // Basic rate is 1 Mbps.
+  EXPECT_EQ(a.tx_duration(250, true), SimTime::from_us(2192));
+}
+
+TEST_F(PhyTest, DeliversWithinDecodeRange) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {250, 0});
+  RxLog log;
+  log.attach(b);
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 1);
+  EXPECT_EQ(log.corrupted, 0);
+  EXPECT_EQ(a.frames_sent(), 1u);
+  EXPECT_EQ(b.frames_received_ok(), 1u);
+}
+
+TEST_F(PhyTest, EnergyOnlyBetweenDecodeAndCsRange) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {400, 0});  // 250 < d <= 550
+  RxLog log;
+  log.attach(b);
+  bool saw_busy = false;
+  b.set_channel_state_callback([&](bool busy) { saw_busy |= busy; });
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 0);
+  EXPECT_EQ(log.corrupted, 0);
+  EXPECT_TRUE(saw_busy);  // carrier sensed even though undecodable
+}
+
+TEST_F(PhyTest, SilentBeyondCsRange) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {600, 0});
+  RxLog log;
+  log.attach(b);
+  bool saw_busy = false;
+  b.set_channel_state_callback([&](bool busy) { saw_busy |= busy; });
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok + log.corrupted, 0);
+  EXPECT_FALSE(saw_busy);
+}
+
+TEST_F(PhyTest, PropagationDelayAppliesPerReceiver) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {250, 0});
+  SimTime rx_time;
+  b.set_rx_callback([&](PacketPtr, bool) { rx_time = sim.now(); });
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  SimTime air = a.tx_duration(100 + kMacDataOverheadBytes, false);
+  SimTime prop = SimTime::from_seconds(250.0 / 3.0e8);
+  EXPECT_EQ(rx_time, air + prop);
+}
+
+TEST_F(PhyTest, EqualDistanceOverlapCollides) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {500, 0});
+  WirelessPhy c(sim, channel, 2, {250, 0});  // 250 from both
+  RxLog log;
+  log.attach(c);
+  a.start_tx(data_packet(1000), false);
+  sim.schedule_in(SimTime::from_us(100),
+                  [&] { b.start_tx(data_packet(1000, 1), false); });
+  sim.run();
+  EXPECT_EQ(log.ok, 0);
+  EXPECT_EQ(log.corrupted, 1);
+  EXPECT_GE(c.collisions(), 1u);
+}
+
+TEST_F(PhyTest, CaptureSurvivesFarInterferer) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy c(sim, channel, 2, {250, 0});   // wanted rx at 250 m from a
+  WirelessPhy b(sim, channel, 1, {750, 0});   // interferer 500 m from c
+  RxLog log;
+  log.attach(c);
+  a.start_tx(data_packet(1000), false);
+  sim.schedule_in(SimTime::from_us(100),
+                  [&] { b.start_tx(data_packet(1000, 1), false); });
+  sim.run();
+  // 500 >= 1.78 * 250, so the overlapping far signal is captured over.
+  EXPECT_EQ(log.ok, 1);
+  EXPECT_EQ(log.corrupted, 0);
+}
+
+TEST_F(PhyTest, CaptureLocksOntoStrongFrameDespiteFarEnergy) {
+  WirelessPhy b(sim, channel, 1, {750, 0});  // far talker first
+  WirelessPhy c(sim, channel, 2, {250, 0});
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  RxLog log;
+  log.attach(c);
+  b.start_tx(data_packet(1500, 1), false);  // long frame: energy at c
+  sim.schedule_in(SimTime::from_us(500),
+                  [&] { a.start_tx(data_packet(100), false); });
+  sim.run();
+  // c was sensing b's far signal but still locks onto a's strong frame.
+  EXPECT_EQ(log.ok, 1);
+}
+
+TEST_F(PhyTest, HalfDuplexTxDuringRxCorruptsReception) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy c(sim, channel, 2, {250, 0});
+  RxLog log;
+  log.attach(c);
+  a.start_tx(data_packet(1000), false);
+  sim.schedule_in(SimTime::from_us(500),
+                  [&] { c.start_tx(data_packet(50, 2), false); });
+  sim.run();
+  EXPECT_EQ(log.ok, 0);
+  EXPECT_EQ(log.corrupted, 1);
+}
+
+TEST_F(PhyTest, CarrierBusyDuringOwnTx) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  EXPECT_FALSE(a.carrier_busy());
+  a.start_tx(data_packet(1000), false);
+  EXPECT_TRUE(a.carrier_busy());
+  EXPECT_TRUE(a.transmitting());
+  sim.run();
+  EXPECT_FALSE(a.carrier_busy());
+}
+
+TEST_F(PhyTest, UniformErrorModelCorruptsFrames) {
+  channel.set_error_model(std::make_unique<UniformErrorModel>(1.0));
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {250, 0});
+  RxLog log;
+  log.attach(b);
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 0);
+  EXPECT_EQ(log.corrupted, 1);
+  EXPECT_EQ(channel.frames_corrupted_by_error(), 1u);
+}
+
+TEST(ErrorModel, BerScalesWithFrameSize) {
+  Rng rng(1);
+  BerErrorModel em(1e-4);
+  Packet small;
+  small.size_bytes = 40;
+  Packet big;
+  big.size_bytes = 1460;
+  int small_bad = 0, big_bad = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (em.should_corrupt(small, 0, rng)) ++small_bad;
+    if (em.should_corrupt(big, 0, rng)) ++big_bad;
+  }
+  EXPECT_GT(big_bad, small_bad * 5);
+}
+
+TEST(ErrorModel, GilbertElliottProducesBursts) {
+  Rng rng(1);
+  GilbertElliottErrorModel::Config cfg;
+  cfg.mean_good_s = 0.5;
+  cfg.mean_bad_s = 0.1;
+  cfg.bad_loss_prob = 1.0;
+  GilbertElliottErrorModel em(cfg);
+  double now = 0.0;
+  em.set_clock(&now);
+  Packet p;
+  p.size_bytes = 100;
+  int losses = 0, transitions = 0;
+  bool prev = false;
+  for (int i = 0; i < 10000; ++i) {
+    now = i * 0.001;
+    bool bad = em.should_corrupt(p, 0, rng);
+    if (bad) ++losses;
+    if (bad != prev) ++transitions;
+    prev = bad;
+  }
+  EXPECT_GT(losses, 300);       // ~1/6 of the time in BAD
+  EXPECT_LT(losses, 4000);
+  EXPECT_LT(transitions, losses);  // losses cluster in bursts
+}
+
+}  // namespace
+}  // namespace muzha

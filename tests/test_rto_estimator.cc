@@ -1,0 +1,72 @@
+#include "tcp/rto_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace muzha {
+namespace {
+
+TEST(RtoEstimator, StartsAtInitialRto) {
+  RtoEstimator e;
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(3.0));
+  EXPECT_FALSE(e.has_sample());
+}
+
+TEST(RtoEstimator, FirstSampleInitializesSrttAndVar) {
+  RtoEstimator e;
+  e.sample(SimTime::from_ms(100));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), SimTime::from_ms(100));
+  EXPECT_EQ(e.rttvar(), SimTime::from_ms(50));
+  // RTO = srtt + 4*rttvar = 300 ms.
+  EXPECT_EQ(e.rto(), SimTime::from_ms(300));
+}
+
+TEST(RtoEstimator, ConvergesTowardStableRtt) {
+  RtoEstimator e;
+  for (int i = 0; i < 100; ++i) e.sample(SimTime::from_ms(80));
+  EXPECT_NEAR(e.srtt().to_seconds(), 0.080, 0.001);
+  // Variance decays toward zero; RTO clamps at the floor.
+  EXPECT_EQ(e.rto(), SimTime::from_ms(200));
+}
+
+TEST(RtoEstimator, SpikesInflateRto) {
+  RtoEstimator e;
+  for (int i = 0; i < 20; ++i) e.sample(SimTime::from_ms(50));
+  SimTime before = e.rto();
+  e.sample(SimTime::from_ms(500));
+  EXPECT_GT(e.rto(), before);
+}
+
+TEST(RtoEstimator, BackoffDoublesAndClampsAtMax) {
+  RtoConfig cfg;
+  cfg.max_rto = SimTime::from_seconds(10.0);
+  RtoEstimator e(cfg);
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(3.0));
+  e.backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(6.0));
+  e.backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(10.0));  // clamped
+  e.backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(10.0));
+}
+
+TEST(RtoEstimator, MinRtoFloorRespected) {
+  RtoConfig cfg;
+  cfg.min_rto = SimTime::from_ms(500);
+  RtoEstimator e(cfg);
+  for (int i = 0; i < 50; ++i) e.sample(SimTime::from_ms(10));
+  EXPECT_EQ(e.rto(), SimTime::from_ms(500));
+}
+
+TEST(RtoEstimator, EwmaWeightsMatchRfc6298) {
+  RtoEstimator e;
+  e.sample(SimTime::from_ms(100));
+  e.sample(SimTime::from_ms(200));
+  // srtt = 0.875*100 + 0.125*200 = 112.5 ms
+  EXPECT_NEAR(e.srtt().to_seconds(), 0.1125, 1e-6);
+  // rttvar = 0.75*50 + 0.25*|200-100| = 62.5 ms
+  EXPECT_NEAR(e.rttvar().to_seconds(), 0.0625, 1e-6);
+}
+
+}  // namespace
+}  // namespace muzha

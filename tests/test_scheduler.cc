@@ -1,0 +1,124 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace muzha {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_ms(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::from_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_ms(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::from_ms(30));
+}
+
+TEST(Scheduler, SimultaneousEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(SimTime::from_ms(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelativeToNow) {
+  Scheduler s;
+  SimTime seen;
+  s.schedule_at(SimTime::from_ms(10), [&] {
+    s.schedule_in(SimTime::from_ms(5), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, SimTime::from_ms(15));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelInvalidOrFiredIdIsNoOp) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  s.run();
+  s.cancel(id);              // already fired
+  s.cancel(kInvalidEventId);  // invalid
+  s.cancel(9999);             // never issued
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::from_ms(10), [&] { ++fired; });
+  s.schedule_at(SimTime::from_ms(20), [&] { ++fired; });
+  s.schedule_at(SimTime::from_ms(30), [&] { ++fired; });
+  s.run_until(SimTime::from_ms(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), SimTime::from_ms(20));
+  s.run_until(SimTime::from_ms(40));
+  EXPECT_EQ(fired, 3);
+  // Clock advances to the requested horizon even after the queue drains.
+  EXPECT_EQ(s.now(), SimTime::from_ms(40));
+}
+
+TEST(Scheduler, EventsScheduledDuringCallbackRun) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_ms(1), [&] {
+    order.push_back(1);
+    s.schedule_in(SimTime::zero(), [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, StepExecutesExactlyOneEvent) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingEventsAccountsForCancellations) {
+  Scheduler s;
+  EventId a = s.schedule_at(SimTime::from_ms(1), [] {});
+  s.schedule_at(SimTime::from_ms(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, CountsExecutedEvents) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(SimTime::from_ms(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(SchedulerDeath, SchedulingInThePastAborts) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(10), [] {});
+  s.run();
+  EXPECT_DEATH(s.schedule_at(SimTime::from_ms(5), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,80 @@
+#include "sim/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace muzha {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, FactoryUnits) {
+  EXPECT_EQ(SimTime::from_ns(7).ns(), 7);
+  EXPECT_EQ(SimTime::from_us(3).ns(), 3'000);
+  EXPECT_EQ(SimTime::from_ms(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::from_seconds(1.5).ns(), 1'500'000'000);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  // 1 ns expressed in seconds should round-trip exactly.
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(2.5e-9).ns(), 3);  // rounds half up
+}
+
+TEST(SimTime, Conversions) {
+  SimTime t = SimTime::from_us(1500);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 0.0015);
+  EXPECT_DOUBLE_EQ(t.to_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.to_us(), 1500.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime a = SimTime::from_us(10);
+  SimTime b = SimTime::from_us(4);
+  EXPECT_EQ((a + b).ns(), 14'000);
+  EXPECT_EQ((a - b).ns(), 6'000);
+  EXPECT_EQ((a * 3).ns(), 30'000);
+  EXPECT_EQ((3 * a).ns(), 30'000);
+  EXPECT_EQ((a / 2).ns(), 5'000);
+  EXPECT_EQ(a / b, 2);  // integer ratio
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::from_ns(100);
+  t += SimTime::from_ns(50);
+  EXPECT_EQ(t.ns(), 150);
+  t -= SimTime::from_ns(25);
+  EXPECT_EQ(t.ns(), 125);
+}
+
+TEST(SimTime, Comparisons) {
+  SimTime a = SimTime::from_ns(1);
+  SimTime b = SimTime::from_ns(2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, SimTime::from_ns(1));
+}
+
+TEST(SimTime, ScaledFraction) {
+  SimTime t = SimTime::from_ns(1000);
+  EXPECT_EQ(t.scaled(0.875).ns(), 875);
+  EXPECT_EQ(t.scaled(0.25).ns(), 250);
+  EXPECT_EQ(t.scaled(2.0).ns(), 2000);
+}
+
+TEST(SimTime, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(SimTime::max(), SimTime::from_seconds(1e9));
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::from_seconds(1.25).to_string(), "1.250000s");
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "stats/fairness.h"
+#include "stats/time_series.h"
+
+namespace muzha {
+namespace {
+
+TEST(Fairness, EqualAllocationsScoreOne) {
+  double x[] = {10.0, 10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(x), 1.0);
+}
+
+TEST(Fairness, SingleHogScoresOneOverN) {
+  double x[] = {100.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(x), 0.25);
+}
+
+TEST(Fairness, ScaleInvariant) {
+  double a[] = {1.0, 2.0, 3.0};
+  double b[] = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(a), jain_fairness_index(b));
+}
+
+TEST(Fairness, KnownTwoFlowValue) {
+  // (1+3)^2 / (2 * (1+9)) = 16/20 = 0.8
+  double x[] = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(x), 0.8);
+}
+
+TEST(Fairness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
+  double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(zeros), 1.0);
+  double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(one), 1.0);
+}
+
+TEST(Fairness, BoundedBetweenOneOverNAndOne) {
+  double x[] = {5.0, 1.0, 9.0, 2.5, 0.1};
+  double j = jain_fairness_index(x);
+  EXPECT_GE(j, 0.2);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(CwndTracerTest, StepInterpolation) {
+  CwndTracer t;
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 0.0);  // empty: zero everywhere
+  t.add(1.0, 2.0);
+  t.add(3.0, 5.0);
+  t.add(3.0, 6.0);  // same-instant update: last write wins
+  EXPECT_DOUBLE_EQ(t.value_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.value_at(2.9), 2.0);
+  EXPECT_DOUBLE_EQ(t.value_at(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 6.0);
+}
+
+TEST(ThroughputSamplerTest, BinsAccumulateBits) {
+  ThroughputSampler s(SimTime::from_seconds(1.0), /*payload_bytes=*/1000);
+  EXPECT_TRUE(s.series().empty());
+  s.record(0.2, 4000);
+  s.record(0.9, 4000);
+  s.record(1.5, 2000);
+  TimeSeries ts = s.series();
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].t_s, 0.5);   // bin centres
+  EXPECT_DOUBLE_EQ(ts[0].value, 8000.0);  // bits/s over a 1 s bin
+  EXPECT_DOUBLE_EQ(ts[1].t_s, 1.5);
+  EXPECT_DOUBLE_EQ(ts[1].value, 2000.0);
+  EXPECT_DOUBLE_EQ(s.total_bits(), 10000.0);
+}
+
+TEST(ThroughputSamplerTest, EmptyBinsReportZero) {
+  ThroughputSampler s(SimTime::from_ms(500), 1460);
+  s.record(0.1, 100);
+  s.record(2.1, 100);
+  TimeSeries ts = s.series();
+  ASSERT_EQ(ts.size(), 5u);
+  EXPECT_DOUBLE_EQ(ts[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(ts[2].value, 0.0);
+  EXPECT_DOUBLE_EQ(ts[3].value, 0.0);
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,369 @@
+#include "tcp/tcp_variants.h"
+
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_vegas.h"
+#include "tests/tcp_test_harness.h"
+
+namespace muzha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Base sender machinery (exercised through TcpNewReno)
+// ---------------------------------------------------------------------------
+
+TEST(TcpBase, StartSendsInitialWindow) {
+  TcpHarness<TcpNewReno> h;
+  h.start();
+  // initial cwnd 1 => exactly one segment outstanding.
+  EXPECT_EQ(h.agent().next_seq(), 1);
+  EXPECT_EQ(h.agent().packets_sent(), 1u);
+}
+
+TEST(TcpBase, WindowCapRespected) {
+  TcpConfig cfg;
+  cfg.window = 4;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(20);  // grow cwnd well past the cap
+  EXPECT_GT(h.agent().cwnd(), 4.0);
+  // Outstanding segments never exceed window_.
+  EXPECT_LE(h.agent().next_seq() - 1 - h.agent().highest_ack(), 4);
+}
+
+TEST(TcpBase, MaxPacketsStopsTheSource) {
+  TcpConfig cfg;
+  cfg.max_packets = 5;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(4);
+  EXPECT_EQ(h.agent().next_seq(), 5);
+  EXPECT_EQ(h.agent().packets_sent(), 5u);
+}
+
+TEST(TcpBase, CumulativeAckAdvancesPastHoles) {
+  TcpConfig cfg;
+  cfg.window = 16;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(3);
+  // A single ACK can acknowledge several segments at once.
+  std::int64_t before = h.agent().highest_ack();
+  h.ack(before + 3);
+  EXPECT_EQ(h.agent().highest_ack(), before + 3);
+}
+
+TEST(TcpBase, RetransmissionTimeoutCollapsesWindow) {
+  TcpConfig cfg;
+  cfg.window = 16;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(7);
+  ASSERT_GT(h.agent().cwnd(), 4.0);
+  // No more ACKs: the RTO (initial 3 s) fires.
+  h.run_ms(4000);
+  EXPECT_EQ(h.agent().timeouts(), 1u);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_GE(h.agent().retransmissions(), 1u);
+}
+
+TEST(TcpBase, RttSampleFeedsEstimator) {
+  TcpHarness<TcpNewReno> h;
+  h.start();
+  h.run_ms(50);
+  SimTime echo = h.sim().now() - SimTime::from_ms(40);
+  h.agent().receive(h.make_ack(0, 5, false, {}, echo));
+  EXPECT_TRUE(h.agent().rto_estimator().has_sample());
+  EXPECT_NEAR(h.agent().rto_estimator().srtt().to_seconds(), 0.040, 0.001);
+}
+
+TEST(TcpBase, KarnRuleSkipsRetransmittedSegments) {
+  TcpConfig cfg;
+  cfg.window = 8;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.run_ms(4000);  // timeout retransmits segment 0
+  ASSERT_GE(h.agent().retransmissions(), 1u);
+  SimTime echo = h.sim().now() - SimTime::from_ms(40);
+  h.agent().receive(h.make_ack(0, 5, false, {}, echo));
+  EXPECT_FALSE(h.agent().rto_estimator().has_sample());
+}
+
+TEST(TcpBase, CwndListenerFiresOnChange) {
+  TcpHarness<TcpNewReno> h;
+  std::vector<double> values;
+  h.agent().set_cwnd_listener(
+      [&](SimTime, double v) { values.push_back(v); });
+  h.start();
+  h.ack_each_up_to(3);
+  ASSERT_GE(values.size(), 3u);
+  EXPECT_LT(values.front(), values.back());
+}
+
+// ---------------------------------------------------------------------------
+// Slow start / congestion avoidance (Reno-family growth)
+// ---------------------------------------------------------------------------
+
+TEST(TcpGrowth, SlowStartDoublesPerRtt) {
+  TcpConfig cfg;
+  cfg.window = 64;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  // One ACK per segment: +1 each => after k ACKs, cwnd = 1 + k.
+  h.ack_each_up_to(6);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 8.0);
+}
+
+TEST(TcpGrowth, CongestionAvoidanceIsLinear) {
+  TcpConfig cfg;
+  cfg.window = 64;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(6);  // cwnd 8
+  // Force CA by crossing a timeout: ssthresh = 4, cwnd restarts at 1.
+  h.run_ms(4000);
+  h.ack_each_up_to(10);
+  // cwnd grew 1 -> 4 in slow start, then +1/cwnd per ACK beyond ssthresh.
+  double cwnd = h.agent().cwnd();
+  EXPECT_GT(cwnd, 4.0);
+  EXPECT_LT(cwnd, 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tahoe
+// ---------------------------------------------------------------------------
+
+TEST(TcpTahoeTest, TripleDupAckRestartsSlowStart) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpTahoe> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);  // cwnd = 11
+  double before = h.agent().cwnd();
+  h.dup_acks(9, 3);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), before / 2.0);
+  EXPECT_EQ(h.agent().retransmissions(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Reno
+// ---------------------------------------------------------------------------
+
+TEST(TcpRenoTest, FastRecoveryHalvesAndInflates) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);  // cwnd 11
+  h.dup_acks(9, 3);
+  EXPECT_TRUE(h.agent().in_recovery());
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), 5.5);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 8.5);  // ssthresh + 3
+  EXPECT_EQ(h.agent().retransmissions(), 1u);
+  // Additional dup ACKs inflate.
+  h.dup_acks(9, 1);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 9.5);
+  // The recovery-exiting ACK deflates to ssthresh.
+  h.ack(h.agent().next_seq() - 1);
+  EXPECT_FALSE(h.agent().in_recovery());
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 5.5);
+}
+
+TEST(TcpRenoTest, BelowThresholdDupAcksDoNothing) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);
+  double before = h.agent().cwnd();
+  h.dup_acks(9, 2);
+  EXPECT_FALSE(h.agent().in_recovery());
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);
+  EXPECT_EQ(h.agent().retransmissions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// NewReno
+// ---------------------------------------------------------------------------
+
+TEST(TcpNewRenoTest, PartialAckRetransmitsNextHoleWithoutExiting) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);  // cwnd 11, next_seq ~ 20s
+  std::int64_t recover = h.agent().next_seq() - 1;
+  h.dup_acks(9, 3);
+  ASSERT_TRUE(h.agent().in_recovery());
+  std::uint64_t retx_before = h.agent().retransmissions();
+
+  // Partial ACK: seq 12 < recover point.
+  h.ack(12);
+  EXPECT_TRUE(h.agent().in_recovery());
+  EXPECT_EQ(h.agent().retransmissions(), retx_before + 1);
+
+  // Full ACK ends recovery and deflates to ssthresh.
+  h.ack(recover);
+  EXPECT_FALSE(h.agent().in_recovery());
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), h.agent().ssthresh());
+}
+
+TEST(TcpNewRenoTest, MultipleLossesRecoverWithoutTimeout) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpNewReno> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);
+  std::int64_t recover = h.agent().next_seq() - 1;
+  h.dup_acks(9, 3);
+  // Three consecutive partial ACKs (three holes), then the full ACK.
+  h.ack(11);
+  h.ack(13);
+  h.ack(15);
+  h.ack(recover);
+  EXPECT_FALSE(h.agent().in_recovery());
+  EXPECT_EQ(h.agent().timeouts(), 0u);
+  EXPECT_GE(h.agent().retransmissions(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// SACK
+// ---------------------------------------------------------------------------
+
+TEST(TcpSackTest, ScoreboardTracksSackedBlocks) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpSack> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);
+  h.dup_acks(9, 3, false, {{12, 15}});
+  EXPECT_TRUE(h.agent().in_recovery());
+  EXPECT_EQ(h.agent().scoreboard_size(), 3u);  // 12,13,14
+}
+
+TEST(TcpSackTest, RetransmitsOnlyHoles) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpSack> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);  // cwnd 11; outstanding 10..20
+  std::uint64_t sent_before = h.agent().packets_sent();
+  // Everything from 11..19 sacked except 10: only 10 is a hole.
+  h.dup_acks(9, 3, false, {{11, 20}});
+  std::uint64_t retx = h.agent().retransmissions();
+  EXPECT_GE(retx, 1u);
+  (void)sent_before;
+  // Full ACK clears the scoreboard.
+  h.ack(h.agent().next_seq() - 1);
+  EXPECT_EQ(h.agent().scoreboard_size(), 0u);
+  EXPECT_FALSE(h.agent().in_recovery());
+}
+
+TEST(TcpSackTest, TimeoutClearsScoreboard) {
+  TcpConfig cfg;
+  cfg.window = 32;
+  TcpHarness<TcpSack> h(cfg);
+  h.start();
+  h.ack_each_up_to(9);
+  h.dup_acks(9, 3, false, {{12, 18}});
+  ASSERT_GT(h.agent().scoreboard_size(), 0u);
+  h.run_ms(5000);
+  EXPECT_GE(h.agent().timeouts(), 1u);
+  EXPECT_EQ(h.agent().scoreboard_size(), 0u);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Vegas
+// ---------------------------------------------------------------------------
+
+class VegasHarness : public TcpHarness<TcpVegas> {
+ public:
+  VegasHarness() : TcpHarness<TcpVegas>(make_cfg(), VegasConfig{}) {}
+  static TcpConfig make_cfg() {
+    TcpConfig cfg;
+    cfg.window = 64;
+    return cfg;
+  }
+  // Acknowledge segment `s` with a crafted RTT.
+  void ack_rtt(std::int64_t s, double rtt_s) {
+    SimTime echo = sim().now() - SimTime::from_seconds(rtt_s);
+    agent().receive(make_ack(s, 5, false, {}, echo));
+  }
+};
+
+TEST(TcpVegasTest, SlowStartDoublesEveryOtherRtt) {
+  VegasHarness h;
+  h.start();
+  h.run_ms(500);
+  double cwnd0 = h.agent().cwnd();  // 1
+  h.ack_rtt(0, 0.050);              // epoch 1 ends: grow epoch => x2
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), cwnd0 * 2);
+  // Next epoch is a hold epoch even with headroom.
+  h.ack_rtt(1, 0.050);
+  h.ack_rtt(2, 0.050);  // crosses epoch boundary
+  EXPECT_DOUBLE_EQ(h.agent().cwnd(), cwnd0 * 2);
+}
+
+TEST(TcpVegasTest, ExitsSlowStartWhenQueueingDetected) {
+  VegasHarness h;
+  h.start();
+  h.run_ms(500);
+  h.ack_rtt(0, 0.050);  // baseRTT 50 ms, cwnd 2
+  h.ack_rtt(1, 0.050);
+  h.ack_rtt(2, 0.050);  // cwnd still 2 (hold epoch), cwnd 2... grows next
+  h.ack_rtt(3, 0.050);
+  ASSERT_GE(h.agent().cwnd(), 4.0);
+  // RTT doubles: diff = cwnd*(1-50/100) = cwnd/2 > gamma -> leave slow start.
+  double before = h.agent().cwnd();
+  for (std::int64_t s = h.agent().highest_ack() + 1; s <= 12; ++s) {
+    h.ack_rtt(s, 0.100);
+  }
+  EXPECT_LT(h.agent().cwnd(), before + 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), 2.0);  // CA from now on
+}
+
+TEST(TcpVegasTest, CongestionAvoidanceNudgesWindow) {
+  VegasHarness h;
+  h.start();
+  h.run_ms(500);
+  // Drive into CA with a known base RTT.
+  h.ack_rtt(0, 0.050);
+  for (std::int64_t s = 1; s <= 12; ++s) h.ack_rtt(s, 0.100);
+  ASSERT_DOUBLE_EQ(h.agent().ssthresh(), 2.0);
+  double cwnd = h.agent().cwnd();
+
+  // RTT back to base: diff ~ 0 < alpha => +1 at the next epoch boundary.
+  std::int64_t upto = h.agent().highest_ack() + 8;
+  for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
+    h.ack_rtt(s, 0.050);
+  }
+  EXPECT_GT(h.agent().cwnd(), cwnd);
+
+  // Large queueing: diff > beta => -1 per epoch. The first boundary may
+  // still contain old base-RTT samples, so give it several epochs.
+  double high = h.agent().cwnd();
+  upto = h.agent().highest_ack() + 40;
+  for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
+    h.ack_rtt(s, 0.300);
+  }
+  EXPECT_LT(h.agent().cwnd(), high);
+}
+
+TEST(TcpVegasTest, LossReductionGentlerThanReno) {
+  VegasHarness h;
+  h.start();
+  h.run_ms(500);
+  h.ack_rtt(0, 0.050);
+  h.ack_rtt(1, 0.050);
+  h.ack_rtt(2, 0.050);
+  h.ack_rtt(3, 0.050);
+  double before = h.agent().cwnd();
+  h.dup_acks(h.agent().highest_ack(), 3);
+  EXPECT_TRUE(h.agent().in_recovery());
+  EXPECT_NEAR(h.agent().cwnd(), std::max(before * 0.75, 2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace muzha
