@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drai.dir/ablation_drai.cc.o"
+  "CMakeFiles/ablation_drai.dir/ablation_drai.cc.o.d"
+  "ablation_drai"
+  "ablation_drai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_marking.dir/ablation_marking.cc.o"
+  "CMakeFiles/ablation_marking.dir/ablation_marking.cc.o.d"
+  "ablation_marking"
+  "ablation_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecn_vs_drai.dir/ecn_vs_drai.cc.o"
+  "CMakeFiles/ecn_vs_drai.dir/ecn_vs_drai.cc.o.d"
+  "ecn_vs_drai"
+  "ecn_vs_drai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecn_vs_drai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_02_cwnd_chain.dir/fig5_02_cwnd_chain.cc.o"
+  "CMakeFiles/fig5_02_cwnd_chain.dir/fig5_02_cwnd_chain.cc.o.d"
+  "fig5_02_cwnd_chain"
+  "fig5_02_cwnd_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_02_cwnd_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_08_throughput_vs_hops.dir/fig5_08_throughput_vs_hops.cc.o"
+  "CMakeFiles/fig5_08_throughput_vs_hops.dir/fig5_08_throughput_vs_hops.cc.o.d"
+  "fig5_08_throughput_vs_hops"
+  "fig5_08_throughput_vs_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_08_throughput_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_11_retx_vs_hops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_16_coexistence.dir/fig5_16_coexistence.cc.o"
+  "CMakeFiles/fig5_16_coexistence.dir/fig5_16_coexistence.cc.o.d"
+  "fig5_16_coexistence"
+  "fig5_16_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_16_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_19_dynamics.dir/fig5_19_dynamics.cc.o"
+  "CMakeFiles/fig5_19_dynamics.dir/fig5_19_dynamics.cc.o.d"
+  "fig5_19_dynamics"
+  "fig5_19_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_19_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

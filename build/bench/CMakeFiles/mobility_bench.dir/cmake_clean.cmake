@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_bench.dir/mobility_bench.cc.o"
+  "CMakeFiles/mobility_bench.dir/mobility_bench.cc.o.d"
+  "mobility_bench"
+  "mobility_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

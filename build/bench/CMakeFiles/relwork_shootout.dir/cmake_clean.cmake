@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relwork_shootout.dir/relwork_shootout.cc.o"
+  "CMakeFiles/relwork_shootout.dir/relwork_shootout.cc.o.d"
+  "relwork_shootout"
+  "relwork_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relwork_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

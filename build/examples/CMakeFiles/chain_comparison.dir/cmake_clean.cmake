@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_comparison.dir/chain_comparison.cpp.o"
+  "CMakeFiles/chain_comparison.dir/chain_comparison.cpp.o.d"
+  "chain_comparison"
+  "chain_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_coexistence.dir/fairness_coexistence.cpp.o"
+  "CMakeFiles/fairness_coexistence.dir/fairness_coexistence.cpp.o.d"
+  "fairness_coexistence"
+  "fairness_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

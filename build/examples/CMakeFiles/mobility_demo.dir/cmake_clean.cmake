@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_demo.dir/mobility_demo.cpp.o"
+  "CMakeFiles/mobility_demo.dir/mobility_demo.cpp.o.d"
+  "mobility_demo"
+  "mobility_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

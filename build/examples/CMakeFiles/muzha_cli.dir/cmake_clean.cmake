@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_cli.dir/muzha_cli.cpp.o"
+  "CMakeFiles/muzha_cli.dir/muzha_cli.cpp.o.d"
+  "muzha_cli"
+  "muzha_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

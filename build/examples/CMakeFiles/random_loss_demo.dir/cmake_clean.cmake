@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_loss_demo.dir/random_loss_demo.cpp.o"
+  "CMakeFiles/random_loss_demo.dir/random_loss_demo.cpp.o.d"
+  "random_loss_demo"
+  "random_loss_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_loss_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for random_loss_demo.
+# This may be replaced when dependencies are built.

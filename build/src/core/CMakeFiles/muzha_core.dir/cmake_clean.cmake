@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_core.dir/bandwidth_estimator.cc.o"
+  "CMakeFiles/muzha_core.dir/bandwidth_estimator.cc.o.d"
+  "CMakeFiles/muzha_core.dir/drai.cc.o"
+  "CMakeFiles/muzha_core.dir/drai.cc.o.d"
+  "CMakeFiles/muzha_core.dir/tcp_muzha.cc.o"
+  "CMakeFiles/muzha_core.dir/tcp_muzha.cc.o.d"
+  "libmuzha_core.a"
+  "libmuzha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

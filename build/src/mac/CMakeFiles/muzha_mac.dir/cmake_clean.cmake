@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_mac.dir/mac80211.cc.o"
+  "CMakeFiles/muzha_mac.dir/mac80211.cc.o.d"
+  "libmuzha_mac.a"
+  "libmuzha_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/muzha_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/muzha_net.dir/node.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/muzha_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/muzha_net.dir/trace.cc.o.d"
+  "/root/repo/src/net/wireless_device.cc" "src/net/CMakeFiles/muzha_net.dir/wireless_device.cc.o" "gcc" "src/net/CMakeFiles/muzha_net.dir/wireless_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/muzha_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/muzha_mac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

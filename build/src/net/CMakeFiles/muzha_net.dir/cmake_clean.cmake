@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_net.dir/node.cc.o"
+  "CMakeFiles/muzha_net.dir/node.cc.o.d"
+  "CMakeFiles/muzha_net.dir/trace.cc.o"
+  "CMakeFiles/muzha_net.dir/trace.cc.o.d"
+  "CMakeFiles/muzha_net.dir/wireless_device.cc.o"
+  "CMakeFiles/muzha_net.dir/wireless_device.cc.o.d"
+  "libmuzha_net.a"
+  "libmuzha_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cc" "src/phy/CMakeFiles/muzha_phy.dir/channel.cc.o" "gcc" "src/phy/CMakeFiles/muzha_phy.dir/channel.cc.o.d"
+  "/root/repo/src/phy/error_model.cc" "src/phy/CMakeFiles/muzha_phy.dir/error_model.cc.o" "gcc" "src/phy/CMakeFiles/muzha_phy.dir/error_model.cc.o.d"
+  "/root/repo/src/phy/wireless_phy.cc" "src/phy/CMakeFiles/muzha_phy.dir/wireless_phy.cc.o" "gcc" "src/phy/CMakeFiles/muzha_phy.dir/wireless_phy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

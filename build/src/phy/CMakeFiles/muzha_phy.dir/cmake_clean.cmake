@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_phy.dir/channel.cc.o"
+  "CMakeFiles/muzha_phy.dir/channel.cc.o.d"
+  "CMakeFiles/muzha_phy.dir/error_model.cc.o"
+  "CMakeFiles/muzha_phy.dir/error_model.cc.o.d"
+  "CMakeFiles/muzha_phy.dir/wireless_phy.cc.o"
+  "CMakeFiles/muzha_phy.dir/wireless_phy.cc.o.d"
+  "libmuzha_phy.a"
+  "libmuzha_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_pkt.dir/packet.cc.o"
+  "CMakeFiles/muzha_pkt.dir/packet.cc.o.d"
+  "libmuzha_pkt.a"
+  "libmuzha_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

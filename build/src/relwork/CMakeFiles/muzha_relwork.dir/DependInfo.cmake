@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relwork/adtcp.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/adtcp.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/adtcp.cc.o.d"
+  "/root/repo/src/relwork/ecn.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/ecn.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/ecn.cc.o.d"
+  "/root/repo/src/relwork/tcp_door.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_door.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_door.cc.o.d"
+  "/root/repo/src/relwork/tcp_jersey.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_jersey.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_jersey.cc.o.d"
+  "/root/repo/src/relwork/tcp_rovegas.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_rovegas.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_rovegas.cc.o.d"
+  "/root/repo/src/relwork/tcp_westwood.cc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_westwood.cc.o" "gcc" "src/relwork/CMakeFiles/muzha_relwork.dir/tcp_westwood.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/muzha_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/muzha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/muzha_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/muzha_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

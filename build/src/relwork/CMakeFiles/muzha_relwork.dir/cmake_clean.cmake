@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_relwork.dir/adtcp.cc.o"
+  "CMakeFiles/muzha_relwork.dir/adtcp.cc.o.d"
+  "CMakeFiles/muzha_relwork.dir/ecn.cc.o"
+  "CMakeFiles/muzha_relwork.dir/ecn.cc.o.d"
+  "CMakeFiles/muzha_relwork.dir/tcp_door.cc.o"
+  "CMakeFiles/muzha_relwork.dir/tcp_door.cc.o.d"
+  "CMakeFiles/muzha_relwork.dir/tcp_jersey.cc.o"
+  "CMakeFiles/muzha_relwork.dir/tcp_jersey.cc.o.d"
+  "CMakeFiles/muzha_relwork.dir/tcp_rovegas.cc.o"
+  "CMakeFiles/muzha_relwork.dir/tcp_rovegas.cc.o.d"
+  "CMakeFiles/muzha_relwork.dir/tcp_westwood.cc.o"
+  "CMakeFiles/muzha_relwork.dir/tcp_westwood.cc.o.d"
+  "libmuzha_relwork.a"
+  "libmuzha_relwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_relwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

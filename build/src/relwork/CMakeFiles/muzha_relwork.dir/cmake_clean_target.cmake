@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuzha_relwork.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for muzha_relwork.
+# This may be replaced when dependencies are built.

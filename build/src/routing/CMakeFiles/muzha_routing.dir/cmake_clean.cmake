@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_routing.dir/aodv.cc.o"
+  "CMakeFiles/muzha_routing.dir/aodv.cc.o.d"
+  "libmuzha_routing.a"
+  "libmuzha_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

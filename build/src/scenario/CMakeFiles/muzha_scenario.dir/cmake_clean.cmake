@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_scenario.dir/experiment.cc.o"
+  "CMakeFiles/muzha_scenario.dir/experiment.cc.o.d"
+  "CMakeFiles/muzha_scenario.dir/mobility.cc.o"
+  "CMakeFiles/muzha_scenario.dir/mobility.cc.o.d"
+  "CMakeFiles/muzha_scenario.dir/network.cc.o"
+  "CMakeFiles/muzha_scenario.dir/network.cc.o.d"
+  "libmuzha_scenario.a"
+  "libmuzha_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_sim.dir/log.cc.o"
+  "CMakeFiles/muzha_sim.dir/log.cc.o.d"
+  "CMakeFiles/muzha_sim.dir/scheduler.cc.o"
+  "CMakeFiles/muzha_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/muzha_sim.dir/sim_time.cc.o"
+  "CMakeFiles/muzha_sim.dir/sim_time.cc.o.d"
+  "libmuzha_sim.a"
+  "libmuzha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

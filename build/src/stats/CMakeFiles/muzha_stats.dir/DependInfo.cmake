@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/export.cc" "src/stats/CMakeFiles/muzha_stats.dir/export.cc.o" "gcc" "src/stats/CMakeFiles/muzha_stats.dir/export.cc.o.d"
+  "/root/repo/src/stats/fairness.cc" "src/stats/CMakeFiles/muzha_stats.dir/fairness.cc.o" "gcc" "src/stats/CMakeFiles/muzha_stats.dir/fairness.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/stats/CMakeFiles/muzha_stats.dir/time_series.cc.o" "gcc" "src/stats/CMakeFiles/muzha_stats.dir/time_series.cc.o.d"
+  "/root/repo/src/stats/trace_sinks.cc" "src/stats/CMakeFiles/muzha_stats.dir/trace_sinks.cc.o" "gcc" "src/stats/CMakeFiles/muzha_stats.dir/trace_sinks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/muzha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/muzha_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/muzha_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/muzha_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_stats.dir/export.cc.o"
+  "CMakeFiles/muzha_stats.dir/export.cc.o.d"
+  "CMakeFiles/muzha_stats.dir/fairness.cc.o"
+  "CMakeFiles/muzha_stats.dir/fairness.cc.o.d"
+  "CMakeFiles/muzha_stats.dir/time_series.cc.o"
+  "CMakeFiles/muzha_stats.dir/time_series.cc.o.d"
+  "CMakeFiles/muzha_stats.dir/trace_sinks.cc.o"
+  "CMakeFiles/muzha_stats.dir/trace_sinks.cc.o.d"
+  "libmuzha_stats.a"
+  "libmuzha_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/rto_estimator.cc" "src/tcp/CMakeFiles/muzha_tcp.dir/rto_estimator.cc.o" "gcc" "src/tcp/CMakeFiles/muzha_tcp.dir/rto_estimator.cc.o.d"
+  "/root/repo/src/tcp/tcp_agent.cc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_agent.cc.o" "gcc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_agent.cc.o.d"
+  "/root/repo/src/tcp/tcp_sink.cc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_sink.cc.o" "gcc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_sink.cc.o.d"
+  "/root/repo/src/tcp/tcp_variants.cc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_variants.cc.o" "gcc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_variants.cc.o.d"
+  "/root/repo/src/tcp/tcp_vegas.cc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_vegas.cc.o" "gcc" "src/tcp/CMakeFiles/muzha_tcp.dir/tcp_vegas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/muzha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/muzha_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/muzha_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

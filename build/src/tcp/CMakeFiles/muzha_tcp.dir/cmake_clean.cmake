@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muzha_tcp.dir/rto_estimator.cc.o"
+  "CMakeFiles/muzha_tcp.dir/rto_estimator.cc.o.d"
+  "CMakeFiles/muzha_tcp.dir/tcp_agent.cc.o"
+  "CMakeFiles/muzha_tcp.dir/tcp_agent.cc.o.d"
+  "CMakeFiles/muzha_tcp.dir/tcp_sink.cc.o"
+  "CMakeFiles/muzha_tcp.dir/tcp_sink.cc.o.d"
+  "CMakeFiles/muzha_tcp.dir/tcp_variants.cc.o"
+  "CMakeFiles/muzha_tcp.dir/tcp_variants.cc.o.d"
+  "CMakeFiles/muzha_tcp.dir/tcp_vegas.cc.o"
+  "CMakeFiles/muzha_tcp.dir/tcp_vegas.cc.o.d"
+  "libmuzha_tcp.a"
+  "libmuzha_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muzha_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_ack.dir/test_delayed_ack.cc.o"
+  "CMakeFiles/test_delayed_ack.dir/test_delayed_ack.cc.o.d"
+  "test_delayed_ack"
+  "test_delayed_ack.pdb"
+  "test_delayed_ack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

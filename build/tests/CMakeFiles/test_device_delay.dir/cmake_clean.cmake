@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_delay.dir/test_device_delay.cc.o"
+  "CMakeFiles/test_device_delay.dir/test_device_delay.cc.o.d"
+  "test_device_delay"
+  "test_device_delay.pdb"
+  "test_device_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

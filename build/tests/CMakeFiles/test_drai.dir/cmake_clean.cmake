@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drai.dir/test_drai.cc.o"
+  "CMakeFiles/test_drai.dir/test_drai.cc.o.d"
+  "test_drai"
+  "test_drai.pdb"
+  "test_drai[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecn.dir/test_ecn.cc.o"
+  "CMakeFiles/test_ecn.dir/test_ecn.cc.o.d"
+  "test_ecn"
+  "test_ecn.pdb"
+  "test_ecn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

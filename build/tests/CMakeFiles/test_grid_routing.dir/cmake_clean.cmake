@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_routing.dir/test_grid_routing.cc.o"
+  "CMakeFiles/test_grid_routing.dir/test_grid_routing.cc.o.d"
+  "test_grid_routing"
+  "test_grid_routing.pdb"
+  "test_grid_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

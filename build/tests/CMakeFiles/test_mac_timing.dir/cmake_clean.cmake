@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_timing.dir/test_mac_timing.cc.o"
+  "CMakeFiles/test_mac_timing.dir/test_mac_timing.cc.o.d"
+  "test_mac_timing"
+  "test_mac_timing.pdb"
+  "test_mac_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_relwork.cc" "tests/CMakeFiles/test_relwork.dir/test_relwork.cc.o" "gcc" "tests/CMakeFiles/test_relwork.dir/test_relwork.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/muzha_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/muzha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relwork/CMakeFiles/muzha_relwork.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/muzha_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/muzha_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/muzha_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/muzha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/muzha_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/muzha_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/muzha_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muzha_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relwork.dir/test_relwork.cc.o"
+  "CMakeFiles/test_relwork.dir/test_relwork.cc.o.d"
+  "test_relwork"
+  "test_relwork.pdb"
+  "test_relwork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_timer.dir/test_rng_timer.cc.o"
+  "CMakeFiles/test_rng_timer.dir/test_rng_timer.cc.o.d"
+  "test_rng_timer"
+  "test_rng_timer.pdb"
+  "test_rng_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

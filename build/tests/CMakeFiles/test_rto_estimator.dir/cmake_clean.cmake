@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rto_estimator.dir/test_rto_estimator.cc.o"
+  "CMakeFiles/test_rto_estimator.dir/test_rto_estimator.cc.o.d"
+  "test_rto_estimator"
+  "test_rto_estimator.pdb"
+  "test_rto_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rto_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_muzha.dir/test_tcp_muzha.cc.o"
+  "CMakeFiles/test_tcp_muzha.dir/test_tcp_muzha.cc.o.d"
+  "test_tcp_muzha"
+  "test_tcp_muzha.pdb"
+  "test_tcp_muzha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_muzha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

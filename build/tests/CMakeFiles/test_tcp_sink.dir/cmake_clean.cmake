@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_sink.dir/test_tcp_sink.cc.o"
+  "CMakeFiles/test_tcp_sink.dir/test_tcp_sink.cc.o.d"
+  "test_tcp_sink"
+  "test_tcp_sink.pdb"
+  "test_tcp_sink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

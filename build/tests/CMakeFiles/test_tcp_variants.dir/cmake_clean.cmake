@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_variants.dir/test_tcp_variants.cc.o"
+  "CMakeFiles/test_tcp_variants.dir/test_tcp_variants.cc.o.d"
+  "test_tcp_variants"
+  "test_tcp_variants.pdb"
+  "test_tcp_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
