@@ -1,5 +1,7 @@
 // Figures 5.8-5.10: throughput vs number of hops for window_ in {4, 8, 32},
-// single FTP flow over an h-hop chain (Simulation 2). Averaged over seeds.
+// single FTP flow over an h-hop chain (Simulation 2). Mean ± stddev over
+// seed replications, all points executed concurrently by the batch runner
+// (--jobs N, default all cores).
 //
 // Paper shape to reproduce: Vegas wins below ~8 hops then flattens low;
 // Muzha beats NewReno/SACK by ~5-10%; throughput falls steeply with hops.
@@ -11,30 +13,40 @@ int main(int argc, char** argv) {
   using namespace muzha;
   using namespace muzha::bench;
 
-  // --quick: fewer seeds / hop counts for smoke runs.
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  BenchArgs args = parse_bench_args(argc, argv);
   const int windows[] = {4, 8, 32};
-  std::vector<int> hop_counts = quick ? std::vector<int>{4, 8}
-                                      : std::vector<int>{4, 8, 16, 24, 32};
-  const int seeds = quick ? 1 : 3;
+  std::vector<int> hop_counts = args.quick ? std::vector<int>{4, 8}
+                                           : std::vector<int>{4, 8, 16, 24, 32};
+  const std::size_t seeds = args.quick ? 1 : 3;
   const double duration_s = 30.0;
 
+  // One point per (window, hops, variant); the runner replicates each across
+  // seeds and sweeps everything on the pool at once.
+  BatchRunner runner({.jobs = args.jobs, .replications = seeds, .base_seed = 1});
+  for (int window : windows) {
+    for (int hops : hop_counts) {
+      for (TcpVariant v : kPaperVariants) {
+        runner.add_point(chain_single_flow(v, hops, window, duration_s));
+      }
+    }
+  }
+  auto results = runner.run();
+
+  std::size_t point = 0;
   for (int window : windows) {
     std::printf("\n=== Fig 5.%d: Throughput vs hops (window_=%d) ===\n",
                 window == 4 ? 8 : (window == 8 ? 9 : 10), window);
     std::printf("%-8s", "hops");
-    for (TcpVariant v : kPaperVariants) std::printf("%12s", variant_name(v));
-    std::printf("   (kbps)\n");
+    for (TcpVariant v : kPaperVariants) std::printf("%16s", variant_name(v));
+    std::printf("   (kbps, mean±sd over %zu seed%s)\n", seeds,
+                seeds == 1 ? "" : "s");
     for (int hops : hop_counts) {
       std::printf("%-8d", hops);
-      for (TcpVariant v : kPaperVariants) {
-        double sum = 0.0;
-        for (int s = 0; s < seeds; ++s) {
-          auto res = run_experiment(
-              chain_single_flow(v, hops, window, duration_s, 1 + s));
-          sum += res.flows[0].throughput_bps;
-        }
-        std::printf("%12.1f", sum / seeds / 1e3);
+      for (std::size_t i = 0; i < std::size(kPaperVariants); ++i) {
+        ReplicatedStats s = replication_stats(
+            results[point++],
+            [](const ExperimentResult& r) { return r.flows[0].throughput_bps; });
+        std::printf("%16s", stat_cell(s, 1e3).c_str());
       }
       std::printf("\n");
     }

@@ -1,12 +1,12 @@
 // Figures 5.11-5.13: number of retransmissions vs hop count for
-// window_ in {4, 8, 32} (Simulation 2).
+// window_ in {4, 8, 32} (Simulation 2). Mean ± stddev over seed
+// replications, sweep parallelised by the batch runner (--jobs N).
 //
 // Paper shape to reproduce: Vegas stays near zero at every length;
 // NewReno/SACK retransmit heavily (aggressive slow-start growth); Muzha
 // stays lowest of the window-probing protocols at short chains, with the
 // gap narrowing as the advertised window grows.
 #include <cstdio>
-#include <string>
 
 #include "bench/bench_util.h"
 
@@ -14,29 +14,39 @@ int main(int argc, char** argv) {
   using namespace muzha;
   using namespace muzha::bench;
 
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  BenchArgs args = parse_bench_args(argc, argv);
   const int windows[] = {4, 8, 32};
-  std::vector<int> hop_counts = quick ? std::vector<int>{4, 8}
-                                      : std::vector<int>{4, 8, 16, 24, 32};
-  const int seeds = quick ? 1 : 3;
+  std::vector<int> hop_counts = args.quick ? std::vector<int>{4, 8}
+                                           : std::vector<int>{4, 8, 16, 24, 32};
+  const std::size_t seeds = args.quick ? 1 : 3;
   const double duration_s = 30.0;
 
+  BatchRunner runner({.jobs = args.jobs, .replications = seeds, .base_seed = 1});
+  for (int window : windows) {
+    for (int hops : hop_counts) {
+      for (TcpVariant v : kPaperVariants) {
+        runner.add_point(chain_single_flow(v, hops, window, duration_s));
+      }
+    }
+  }
+  auto results = runner.run();
+
+  std::size_t point = 0;
   for (int window : windows) {
     std::printf("\n=== Fig 5.%d: Retransmissions vs hops (window_=%d) ===\n",
                 window == 4 ? 11 : (window == 8 ? 12 : 13), window);
     std::printf("%-8s", "hops");
-    for (TcpVariant v : kPaperVariants) std::printf("%12s", variant_name(v));
-    std::printf("   (retransmitted segments, 30 s)\n");
+    for (TcpVariant v : kPaperVariants) std::printf("%16s", variant_name(v));
+    std::printf("   (retransmitted segments, 30 s, mean±sd over %zu seed%s)\n",
+                seeds, seeds == 1 ? "" : "s");
     for (int hops : hop_counts) {
       std::printf("%-8d", hops);
-      for (TcpVariant v : kPaperVariants) {
-        double sum = 0;
-        for (int s = 0; s < seeds; ++s) {
-          auto res = run_experiment(
-              chain_single_flow(v, hops, window, duration_s, 1 + s));
-          sum += static_cast<double>(res.flows[0].retransmissions);
-        }
-        std::printf("%12.1f", sum / seeds);
+      for (std::size_t i = 0; i < std::size(kPaperVariants); ++i) {
+        ReplicatedStats s = replication_stats(
+            results[point++], [](const ExperimentResult& r) {
+              return static_cast<double>(r.flows[0].retransmissions);
+            });
+        std::printf("%16s", stat_cell(s).c_str());
       }
       std::printf("\n");
     }

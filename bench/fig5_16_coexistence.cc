@@ -1,13 +1,13 @@
 // Figures 5.16-5.18 (Simulation 3A): fairness when two flows cross.
 //
 // Cross topology of Fig 5.15: one flow travels the horizontal arm, one the
-// vertical arm, sharing the centre node; h in {4, 6, 8}; 50 s runs.
+// vertical arm, sharing the centre node; h in {4, 6, 8}; 50 s runs. Seed
+// replications run concurrently on the batch pool (--jobs N).
 //
 // Paper shape to reproduce: NewReno steals nearly all bandwidth from Vegas
 // (low Jain index); NewReno + Muzha share fairly (index near 1) with higher
 // aggregate throughput. Fig 5.14's Jain index is the metric itself.
 #include <cstdio>
-#include <string>
 
 #include "bench/bench_util.h"
 #include "stats/fairness.h"
@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
   using namespace muzha;
   using namespace muzha::bench;
 
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  std::vector<int> hop_counts = quick ? std::vector<int>{4}
-                                      : std::vector<int>{4, 6, 8};
+  BenchArgs args = parse_bench_args(argc, argv);
+  std::vector<int> hop_counts = args.quick ? std::vector<int>{4}
+                                           : std::vector<int>{4, 6, 8};
   // Medium capture makes per-seed splits extreme in both directions; the
   // paper's qualitative fairness story only emerges in the seed average.
-  const int seeds = quick ? 1 : 5;
+  const std::size_t seeds = args.quick ? 1 : 5;
   const double duration_s = 50.0;
   const Pairing pairings[] = {
       {TcpVariant::kNewReno, TcpVariant::kVegas},   // Fig 5.16
@@ -39,46 +39,54 @@ int main(int argc, char** argv) {
       {TcpVariant::kNewReno, TcpVariant::kNewReno},
   };
 
+  BatchRunner runner({.jobs = args.jobs, .replications = seeds, .base_seed = 1});
+  for (const Pairing& p : pairings) {
+    for (int hops : hop_counts) {
+      ExperimentConfig cfg;
+      cfg.topology = TopologyKind::kCross;
+      cfg.hops = hops;
+      cfg.duration = SimTime::from_seconds(duration_s);
+      // Horizontal arm nodes come first (0..hops), vertical arm shares the
+      // centre; flow A runs across the horizontal arm, flow B across the
+      // vertical one.
+      std::size_t h0 = 0, h1 = static_cast<std::size_t>(hops);
+      std::size_t v0 = static_cast<std::size_t>(hops) + 1;
+      std::size_t v1 = static_cast<std::size_t>(2 * hops);
+      // Router assistance is on whenever a Muzha flow participates.
+      cfg.flows.push_back({p.a, h0, h1, SimTime::zero(), 32});
+      cfg.flows.push_back({p.b, v0, v1, SimTime::zero(), 32});
+      runner.add_point(std::move(cfg));
+    }
+  }
+  auto results = runner.run();
+
   std::printf("=== Fig 5.16-5.18: coexisting flows on an h-hop cross ===\n");
   std::printf("(Jain/run = mean per-seed index, short-term fairness;\n"
               " Jain/avg = index of seed-averaged shares, long-term "
               "fairness)\n");
-  std::printf("%-22s %-5s %14s %14s %12s %10s %10s\n", "pairing", "hops",
+  std::printf("%-22s %-5s %16s %16s %12s %10s %10s\n", "pairing", "hops",
               "flowA (kbps)", "flowB (kbps)", "total", "Jain/run",
               "Jain/avg");
+  std::size_t point = 0;
   for (const Pairing& p : pairings) {
     for (int hops : hop_counts) {
-      double a_sum = 0, b_sum = 0, j_sum = 0;
-      for (int s = 0; s < seeds; ++s) {
-        ExperimentConfig cfg;
-        cfg.topology = TopologyKind::kCross;
-        cfg.hops = hops;
-        cfg.duration = SimTime::from_seconds(duration_s);
-        cfg.seed = 1 + s;
-        // Horizontal arm nodes come first (0..hops), vertical arm shares the
-        // centre; flow A runs across the horizontal arm, flow B across the
-        // vertical one.
-        std::size_t h0 = 0, h1 = static_cast<std::size_t>(hops);
-        std::size_t v0 = static_cast<std::size_t>(hops) + 1;
-        std::size_t v1 = static_cast<std::size_t>(2 * hops);
-        // Router assistance is on whenever a Muzha flow participates.
-        cfg.flows.push_back({p.a, h0, h1, SimTime::zero(), 32});
-        cfg.flows.push_back({p.b, v0, v1, SimTime::zero(), 32});
-        auto res = run_experiment(cfg);
+      ReplicatedStats a_stats, b_stats, jain_stats;
+      for (const ExperimentResult& res : results[point++]) {
         double a = res.flows[0].throughput_bps / 1e3;
         double b = res.flows[1].throughput_bps / 1e3;
         double thr[] = {a, b};
-        a_sum += a;
-        b_sum += b;
-        j_sum += jain_fairness_index(thr);
+        a_stats.add(a);
+        b_stats.add(b);
+        jain_stats.add(jain_fairness_index(thr));
       }
       char name[64];
       std::snprintf(name, sizeof(name), "%s vs %s", variant_name(p.a),
                     variant_name(p.b));
-      double means[] = {a_sum / seeds, b_sum / seeds};
-      std::printf("%-22s %-5d %14.1f %14.1f %12.1f %10.3f %10.3f\n", name,
-                  hops, means[0], means[1], (a_sum + b_sum) / seeds,
-                  j_sum / seeds, jain_fairness_index(means));
+      double means[] = {a_stats.mean(), b_stats.mean()};
+      std::printf("%-22s %-5d %16s %16s %12.1f %10.3f %10.3f\n", name, hops,
+                  stat_cell(a_stats).c_str(), stat_cell(b_stats).c_str(),
+                  a_stats.mean() + b_stats.mean(), jain_stats.mean(),
+                  jain_fairness_index(means));
     }
   }
   return 0;

@@ -1,9 +1,9 @@
 // Related-work shootout: Muzha against the Ch. 3 protocols it is positioned
 // against — TCP-DOOR and ADTCP (end-to-end) and TCP Jersey and TCP RoVegas
-// (router-assisted) — plus the NewReno baseline, across the paper's three
-// stress axes: path length, random loss, and advertised window.
+// (router-assisted) — plus NewReno and Westwood baselines, across the
+// paper's three stress axes: path length, random loss, and advertised
+// window. Mean over seed replications, parallelised by the batch runner.
 #include <cstdio>
-#include <string>
 
 #include "bench/bench_util.h"
 
@@ -11,40 +11,56 @@ int main(int argc, char** argv) {
   using namespace muzha;
   using namespace muzha::bench;
 
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const int seeds = quick ? 1 : 3;
+  BenchArgs args = parse_bench_args(argc, argv);
+  const std::size_t seeds = args.quick ? 1 : 3;
   const double duration_s = 30.0;
   const TcpVariant contenders[] = {
       TcpVariant::kMuzha,  TcpVariant::kJersey, TcpVariant::kRoVegas,
-      TcpVariant::kWestwood, TcpVariant::kDoor, TcpVariant::kAdtcp, TcpVariant::kNewReno,
+      TcpVariant::kWestwood, TcpVariant::kDoor, TcpVariant::kAdtcp,
+      TcpVariant::kNewReno,
   };
 
-  auto run_row = [&](const char* label, int hops, int window, double loss) {
-    std::printf("%-16s", label);
+  struct Scenario {
+    const char* label;
+    int hops;
+    int window;
+    double loss;
+  };
+  std::vector<Scenario> scenarios = {
+      {"4-hop w8", 4, 8, 0.0},
+      {"8-hop w32", 8, 32, 0.0},
+  };
+  if (!args.quick) {
+    scenarios.push_back({"16-hop w32", 16, 32, 0.0});
+    scenarios.push_back({"8-hop 3% loss", 8, 32, 0.03});
+    scenarios.push_back({"8-hop 5% loss", 8, 32, 0.05});
+  }
+
+  BatchRunner runner({.jobs = args.jobs, .replications = seeds, .base_seed = 1});
+  for (const Scenario& sc : scenarios) {
     for (TcpVariant v : contenders) {
-      double thr = 0;
-      for (int s = 0; s < seeds; ++s) {
-        ExperimentConfig cfg =
-            chain_single_flow(v, hops, window, duration_s, 1 + s);
-        cfg.uniform_error_rate = loss;
-        auto res = run_experiment(cfg);
-        thr += res.flows[0].throughput_bps / 1e3 / seeds;
-      }
-      std::printf("%10.1f", thr);
+      ExperimentConfig cfg =
+          chain_single_flow(v, sc.hops, sc.window, duration_s);
+      cfg.uniform_error_rate = sc.loss;
+      runner.add_point(std::move(cfg));
     }
-    std::printf("\n");
-  };
+  }
+  auto results = runner.run();
 
-  std::printf("=== Related-work shootout (kbps) ===\n%-16s", "scenario");
+  std::printf("=== Related-work shootout (kbps, mean over %zu seed%s) ===\n%-16s",
+              seeds, seeds == 1 ? "" : "s", "scenario");
   for (TcpVariant v : contenders) std::printf("%10s", variant_name(v));
   std::printf("\n");
-
-  run_row("4-hop w8", 4, 8, 0.0);
-  run_row("8-hop w32", 8, 32, 0.0);
-  if (!quick) {
-    run_row("16-hop w32", 16, 32, 0.0);
-    run_row("8-hop 3% loss", 8, 32, 0.03);
-    run_row("8-hop 5% loss", 8, 32, 0.05);
+  std::size_t point = 0;
+  for (const Scenario& sc : scenarios) {
+    std::printf("%-16s", sc.label);
+    for (std::size_t i = 0; i < std::size(contenders); ++i) {
+      ReplicatedStats s = replication_stats(
+          results[point++],
+          [](const ExperimentResult& r) { return r.flows[0].throughput_bps; });
+      std::printf("%10.1f", s.mean() / 1e3);
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -1,0 +1,83 @@
+#include "scenario/batch_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace muzha {
+
+std::vector<ExperimentResult> run_batch(
+    const std::vector<ExperimentConfig>& configs, int jobs) {
+  const std::size_t n = configs.size();
+  std::vector<ExperimentResult> results(n);
+  if (n == 0) return results;
+
+  std::size_t workers = jobs > 0 ? static_cast<std::size_t>(jobs)
+                                 : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = n;
+
+  if (workers == 1) {
+    // Run inline: identical semantics, no pool overhead, and keeps
+    // single-threaded debugging trivial.
+    for (std::size_t i = 0; i < n; ++i) results[i] = run_experiment(configs[i]);
+    return results;
+  }
+
+  // Each worker claims the next unstarted index and writes only its own
+  // result slot, so submission order is preserved by construction and no
+  // two threads ever touch the same element.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::size_t BatchRunner::add_point(ExperimentConfig cfg) {
+  points_.push_back(std::move(cfg));
+  return points_.size() - 1;
+}
+
+std::vector<std::vector<ExperimentResult>> BatchRunner::run() const {
+  const std::size_t reps = opts_.replications == 0 ? 1 : opts_.replications;
+  // Flatten points x replications into one run list (replication-major within
+  // each point) so the pool load-balances across everything at once.
+  std::vector<ExperimentConfig> flat;
+  flat.reserve(points_.size() * reps);
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      ExperimentConfig cfg = points_[p];
+      cfg.seed = derive_run_seed(opts_.base_seed, p, r);
+      flat.push_back(std::move(cfg));
+    }
+  }
+  std::vector<ExperimentResult> flat_results = run_batch(flat, opts_.jobs);
+  std::vector<std::vector<ExperimentResult>> out(points_.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    out[p].reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      out[p].push_back(std::move(flat_results[p * reps + r]));
+    }
+  }
+  return out;
+}
+
+}  // namespace muzha

@@ -1,0 +1,45 @@
+// Bitwise deep-equality checks for ExperimentResult, shared by the batch
+// runner and determinism suites: two runs of the same (config, seed) must
+// agree on every field, doubles included.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace muzha::testing {
+
+inline bool series_equal(const TimeSeries& a, const TimeSeries& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_s != b[i].t_s || a[i].value != b[i].value) return false;
+  }
+  return true;
+}
+
+inline void expect_results_identical(const ExperimentResult& a,
+                                     const ExperimentResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    const FlowResult& fa = a.flows[i];
+    const FlowResult& fb = b.flows[i];
+    EXPECT_EQ(fa.variant, fb.variant) << "flow " << i;
+    EXPECT_EQ(fa.delivered, fb.delivered) << "flow " << i;
+    EXPECT_EQ(fa.duration_s, fb.duration_s) << "flow " << i;
+    EXPECT_EQ(fa.throughput_bps, fb.throughput_bps) << "flow " << i;
+    EXPECT_EQ(fa.packets_sent, fb.packets_sent) << "flow " << i;
+    EXPECT_EQ(fa.retransmissions, fb.retransmissions) << "flow " << i;
+    EXPECT_EQ(fa.timeouts, fb.timeouts) << "flow " << i;
+    EXPECT_EQ(fa.marked_loss_events, fb.marked_loss_events) << "flow " << i;
+    EXPECT_EQ(fa.unmarked_loss_events, fb.unmarked_loss_events) << "flow " << i;
+    EXPECT_TRUE(series_equal(fa.cwnd_trace, fb.cwnd_trace)) << "flow " << i;
+    EXPECT_TRUE(series_equal(fa.throughput_series, fb.throughput_series))
+        << "flow " << i;
+  }
+  EXPECT_EQ(a.ifq_drops, b.ifq_drops);
+  EXPECT_EQ(a.mac_retry_drops, b.mac_retry_drops);
+  EXPECT_EQ(a.phy_collisions, b.phy_collisions);
+  EXPECT_EQ(a.channel_error_losses, b.channel_error_losses);
+}
+
+}  // namespace muzha::testing

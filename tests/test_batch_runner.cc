@@ -1,0 +1,117 @@
+// BatchRunner: thread-count invariance (bitwise), submission-order
+// preservation, and stability of the SplitMix64 seed-derivation scheme.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/batch_runner.h"
+#include "tests/experiment_equal.h"
+
+namespace muzha {
+namespace {
+
+using muzha::testing::expect_results_identical;
+
+ExperimentConfig chain_point(TcpVariant v, int hops, double duration_s) {
+  ExperimentConfig cfg;
+  cfg.hops = hops;
+  cfg.duration = SimTime::from_seconds(duration_s);
+  cfg.flows.push_back(
+      {v, 0, static_cast<std::size_t>(hops), SimTime::zero(), 8});
+  return cfg;
+}
+
+BatchRunner four_point_runner(int jobs) {
+  BatchRunner runner({.jobs = jobs, .replications = 4, .base_seed = 42});
+  runner.add_point(chain_point(TcpVariant::kNewReno, 3, 4.0));
+  runner.add_point(chain_point(TcpVariant::kMuzha, 4, 4.0));
+  runner.add_point(chain_point(TcpVariant::kVegas, 3, 4.0));
+  runner.add_point(chain_point(TcpVariant::kSack, 2, 4.0));
+  return runner;
+}
+
+TEST(BatchRunner, Jobs1AndJobs8ProduceBitwiseIdenticalResults) {
+  auto serial = four_point_runner(1).run();
+  auto parallel = four_point_runner(8).run();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(serial[p].size(), parallel[p].size());
+    for (std::size_t r = 0; r < serial[p].size(); ++r) {
+      expect_results_identical(serial[p][r], parallel[p][r]);
+    }
+  }
+}
+
+TEST(BatchRunner, ResultsComeBackInSubmissionOrder) {
+  // Durations descend so, under parallel execution, later submissions tend
+  // to finish first; the variant recorded in each FlowResult tags the point.
+  const TcpVariant order[] = {TcpVariant::kNewReno, TcpVariant::kVegas,
+                              TcpVariant::kMuzha, TcpVariant::kSack};
+  std::vector<ExperimentConfig> configs;
+  for (std::size_t i = 0; i < std::size(order); ++i) {
+    ExperimentConfig cfg =
+        chain_point(order[i], 3, 8.0 - 2.0 * static_cast<double>(i));
+    cfg.seed = 7;
+    configs.push_back(std::move(cfg));
+  }
+  auto results = run_batch(configs, 4);
+  ASSERT_EQ(results.size(), std::size(order));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].flows[0].variant, order[i]);
+  }
+}
+
+TEST(BatchRunner, ReplicationsUseDistinctSeedsAndDiffer) {
+  BatchRunner runner({.jobs = 2, .replications = 3, .base_seed = 5});
+  ExperimentConfig cfg = chain_point(TcpVariant::kNewReno, 3, 5.0);
+  cfg.flows[0].window = 32;  // enough contention for seeds to matter
+  runner.add_point(cfg);
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].size(), 3u);
+  // Some observable statistic should move across replications.
+  bool any_differ = false;
+  for (std::size_t r = 1; r < 3; ++r) {
+    if (results[0][r].flows[0].packets_sent !=
+            results[0][0].flows[0].packets_sent ||
+        results[0][r].phy_collisions != results[0][0].phy_collisions ||
+        results[0][r].flows[0].delivered != results[0][0].flows[0].delivered) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(BatchRunner, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(run_batch({}, 4).empty());
+  EXPECT_TRUE(BatchRunner({.jobs = 4}).run().empty());
+}
+
+TEST(SeedDerivation, IsPureAndCollisionFreeOverSweepGrid) {
+  EXPECT_EQ(derive_run_seed(1, 0, 0), derive_run_seed(1, 0, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {1ULL, 2ULL, 999ULL}) {
+    for (std::size_t p = 0; p < 64; ++p) {
+      for (std::size_t r = 0; r < 16; ++r) {
+        seen.insert(derive_run_seed(base, p, r));
+      }
+    }
+  }
+  // 3 bases x 64 points x 16 replications, all distinct.
+  EXPECT_EQ(seen.size(), 3u * 64u * 16u);
+}
+
+TEST(SeedDerivation, SchemeIsFrozen) {
+  // Pinned outputs of the SplitMix64 chain. If this test fails the
+  // derivation changed, which silently re-seeds every recorded sweep —
+  // don't update these constants without meaning to.
+  EXPECT_EQ(derive_run_seed(1, 0, 0), 0xb18a02f46d8d86c3ULL);
+  EXPECT_EQ(derive_run_seed(1, 0, 1), 0x6c5795e14b3b7e33ULL);
+  EXPECT_EQ(derive_run_seed(1, 1, 0), 0x5775264a9a7e1b09ULL);
+  EXPECT_EQ(derive_run_seed(2, 0, 0), 0x1956ecd1a275ec95ULL);
+  static_assert(splitmix64(0) == 0xe220a8397b1dcdafULL,
+                "SplitMix64 finalizer must match the reference stream");
+}
+
+}  // namespace
+}  // namespace muzha
