@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files (events/sec per case).
+
+Usage:
+    compare_bench.py PRE.json POST.json [--require NAME=RATIO ...]
+
+For every benchmark present in both files the script reports the POST/PRE
+ratio of items_per_second. Each file may contain several repetitions of a
+benchmark (--benchmark_repetitions, or several runs concatenated into the
+"benchmarks" array); the per-case value is the BEST repetition. On a shared
+box the minimum-time/maximum-throughput repetition is the standard
+noise-robust statistic (same rationale as Python's timeit): interference
+only ever makes a run slower, never faster.
+
+--require NAME=RATIO makes the script exit non-zero unless POST/PRE for
+NAME is at least RATIO, e.g.:
+
+    compare_bench.py baselines/BENCH_scheduler_pre.json BENCH_scheduler.json \
+        --require BM_SchedulerScheduleRun/65536=1.5 \
+        --require BM_SchedulerCancelHalf/4096=1.5
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_by_case(path):
+    with open(path) as f:
+        data = json.load(f)
+    best = {}
+    for bench in data.get("benchmarks", []):
+        # Skip _mean/_median/_stddev aggregate rows; keep raw repetitions.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench["name"])
+        value = bench.get("items_per_second")
+        if value is None:
+            # Fall back to inverse wall time for cases without a rate counter.
+            rt = bench.get("real_time")
+            value = 1e9 / rt if rt else None
+        if value is None:
+            continue
+        best[name] = max(best.get(name, 0.0), value)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("pre")
+    ap.add_argument("post")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME=RATIO",
+                    help="fail unless POST/PRE for NAME is >= RATIO")
+    args = ap.parse_args()
+
+    pre = best_by_case(args.pre)
+    post = best_by_case(args.post)
+
+    width = max((len(n) for n in pre | post), default=10)
+    print(f"{'benchmark':<{width}}  {'pre':>12}  {'post':>12}  ratio")
+    ratios = {}
+    for name in sorted(pre | post):
+        a, b = pre.get(name), post.get(name)
+        if a and b:
+            ratios[name] = b / a
+            print(f"{name:<{width}}  {a:12.4g}  {b:12.4g}  {b / a:5.2f}x")
+        else:
+            print(f"{name:<{width}}  "
+                  f"{a and f'{a:12.4g}' or '           -'}  "
+                  f"{b and f'{b:12.4g}' or '           -'}      -")
+
+    failed = False
+    for req in args.require:
+        name, _, want = req.partition("=")
+        want = float(want)
+        got = ratios.get(name)
+        if got is None:
+            print(f"FAIL {name}: missing from one of the inputs", file=sys.stderr)
+            failed = True
+        elif got < want:
+            print(f"FAIL {name}: {got:.2f}x < required {want:.2f}x", file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok   {name}: {got:.2f}x >= {want:.2f}x")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include "bench/bench_util.h"
 #include "scenario/experiment.h"
 #include "sim/scheduler.h"
+#include "sim/timer.h"
 
 namespace {
 
@@ -40,6 +41,48 @@ void BM_SchedulerCancelHalf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SchedulerCancelHalf)->Arg(4096);
+
+// Steady-state cancel churn: a sliding window of pending events where every
+// step schedules one event and cancels the oldest — the protocol-timer
+// pattern (RTO/CTS/ACK timers are nearly always cancelled, not fired).
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const int ops = 65536;
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventId> ids(window);
+    for (int i = 0; i < window; ++i) {
+      ids[i] = sched.schedule_at(SimTime::from_ns(1000 + i), [] {});
+    }
+    for (int i = 0; i < ops; ++i) {
+      sched.cancel(ids[i % window]);
+      ids[i % window] =
+          sched.schedule_at(SimTime::from_ns(1000 + window + i), [] {});
+    }
+    for (EventId id : ids) sched.cancel(id);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(256);
+
+// Timer restart churn: reschedule an armed Timer (cancel + schedule through
+// the Simulator facade), letting it actually expire every `window` restarts.
+void BM_SchedulerTimerChurn(benchmark::State& state) {
+  const int ops = 65536;
+  for (auto _ : state) {
+    Simulator sim(1);
+    long fired = 0;
+    Timer timer(sim, [&fired] { ++fired; });
+    for (int i = 0; i < ops; ++i) {
+      timer.schedule_in(SimTime::from_us(10));
+      if (i % 64 == 63) sim.run_until(sim.now() + SimTime::from_us(20));
+    }
+    timer.cancel();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_SchedulerTimerChurn);
 
 // One simulated second of a saturated chain, whole stack (PHY+MAC+AODV+TCP).
 void BM_ChainSimulatedSecond(benchmark::State& state) {

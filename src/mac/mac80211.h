@@ -14,12 +14,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "mac/mac_params.h"
 #include "phy/wireless_phy.h"
 #include "pkt/packet.h"
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 
@@ -29,12 +29,12 @@ class Mac80211 {
  public:
   // Fires when the current packet leaves the MAC: delivered (success) or
   // dropped after retries (failure). The device feeds the next packet here.
-  using TxDoneCallback = std::function<void(bool success)>;
+  using TxDoneCallback = InlineFunction<void(bool success)>;
   // Fires on retry exhaustion, with the unreachable next hop and the failed
   // packet (for salvaging / RERR generation).
-  using LinkFailureCallback = std::function<void(NodeId next_hop, PacketPtr)>;
+  using LinkFailureCallback = InlineFunction<void(NodeId next_hop, PacketPtr)>;
   // Received unicast-to-us or broadcast data frames, deduplicated.
-  using RxCallback = std::function<void(PacketPtr)>;
+  using RxCallback = InlineFunction<void(PacketPtr)>;
 
   Mac80211(Simulator& sim, WirelessPhy& phy, MacParams params);
   Mac80211(const Mac80211&) = delete;

@@ -1,21 +1,20 @@
 // Network device: drop-tail IFQ feeding an 802.11 MAC over a wireless PHY.
 #pragma once
 
-#include <functional>
-
 #include "mac/mac80211.h"
 #include "net/drop_tail_queue.h"
 #include "phy/channel.h"
 #include "phy/wireless_phy.h"
 #include "pkt/packet.h"
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 
 namespace muzha {
 
 class WirelessDevice {
  public:
-  using RxCallback = std::function<void(PacketPtr)>;
-  using LinkFailureCallback = std::function<void(NodeId, PacketPtr)>;
+  using RxCallback = InlineFunction<void(PacketPtr)>;
+  using LinkFailureCallback = InlineFunction<void(NodeId, PacketPtr)>;
 
   WirelessDevice(Simulator& sim, Channel& channel, NodeId id, Position pos,
                  MacParams mac_params, std::size_t ifq_capacity);

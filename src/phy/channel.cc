@@ -21,11 +21,9 @@ void Channel::transmit(const WirelessPhy& src, const Packet& pkt,
       if (pre_corrupted) ++frames_corrupted_by_error_;
     }
     SimTime prop = SimTime::from_seconds(dist / params_.propagation_mps);
-    // Hand the copy to a shared_ptr so the lambda stays copyable for
-    // std::function.
-    auto shared = std::make_shared<PacketPtr>(std::move(copy));
-    sim_.schedule_in(prop, [rx, shared, pre_corrupted, duration, dist] {
-      rx->signal_start(std::move(*shared), pre_corrupted, duration, dist);
+    sim_.schedule_in(prop, [rx, copy = std::move(copy), pre_corrupted,
+                            duration, dist]() mutable {
+      rx->signal_start(std::move(copy), pre_corrupted, duration, dist);
     });
   }
 }

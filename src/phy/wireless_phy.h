@@ -9,25 +9,26 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "phy/channel.h"
 #include "phy/phy_params.h"
 #include "phy/position.h"
 #include "pkt/packet.h"
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 
 namespace muzha {
 
 class WirelessPhy {
  public:
-  // Callback types up to the MAC.
-  using ChannelStateCallback = std::function<void(bool busy)>;
+  // Callback types up to the MAC (inline-stored, move-only — see
+  // sim/inline_callback.h).
+  using ChannelStateCallback = InlineFunction<void(bool busy)>;
   // pkt is null when only corruption is reported (collision damaged the
   // frame beyond recovery of its headers).
-  using RxCallback = std::function<void(PacketPtr pkt, bool corrupted)>;
-  using TxDoneCallback = std::function<void()>;
+  using RxCallback = InlineFunction<void(PacketPtr pkt, bool corrupted)>;
+  using TxDoneCallback = InlineFunction<void()>;
 
   WirelessPhy(Simulator& sim, Channel& channel, NodeId id, Position pos);
   WirelessPhy(const WirelessPhy&) = delete;

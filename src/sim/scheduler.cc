@@ -1,61 +1,32 @@
 #include "sim/scheduler.h"
 
-#include <utility>
-
-#include "sim/assert.h"
-
 namespace muzha {
 
-EventId Scheduler::schedule_at(SimTime t, EventCallback cb) {
-  MUZHA_ASSERT(t >= now_, "cannot schedule an event in the past");
-  MUZHA_ASSERT(cb != nullptr, "event callback must be callable");
-  EventId id = next_id_++;
-  heap_.push(Event{t, next_seq_++, id, std::move(cb)});
-  return id;
-}
-
-void Scheduler::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return;
-  cancelled_.insert(id);
-}
-
-void Scheduler::skip_cancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+std::uint32_t Scheduler::grow_pool() {
+  MUZHA_ASSERT(meta_.size() < kNotInHeap, "event pool exhausted");
+  const std::uint32_t slot = static_cast<std::uint32_t>(meta_.size());
+  if ((slot >> kChunkShift) == chunks_.size()) {
+    // Chunks are raw storage; each slot is placement-constructed exactly
+    // once, when the pool first grows over it, so appending a chunk never
+    // touches 16 KiB of cold memory up front.
+    chunks_.push_back(
+        std::make_unique<std::byte[]>(sizeof(EventCallback) * kChunkSlots));
   }
+  meta_.emplace_back();
+  ::new (static_cast<void*>(chunks_[slot >> kChunkShift].get() +
+                            sizeof(EventCallback) * (slot & (kChunkSlots - 1))))
+      EventCallback();
+  return slot;
 }
 
-bool Scheduler::step() {
-  skip_cancelled();
-  if (heap_.empty()) return false;
-  // Move the event out before running it: the callback may schedule new
-  // events and reallocate the heap.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  MUZHA_ASSERT(ev.time >= now_, "event heap yielded a past event");
-  now_ = ev.time;
-  ++executed_;
-  ev.cb();
-  return true;
-}
-
-std::uint64_t Scheduler::run_until(SimTime t_end) {
-  std::uint64_t n = 0;
-  for (;;) {
-    skip_cancelled();
-    if (heap_.empty()) break;
-    if (heap_.top().time > t_end) {
-      now_ = t_end;
-      break;
-    }
-    step();
-    ++n;
+void Scheduler::reserve(std::size_t n) {
+  meta_.reserve(n);
+  while ((chunks_.size() << kChunkShift) < n) {
+    chunks_.push_back(
+        std::make_unique<std::byte[]>(sizeof(EventCallback) * kChunkSlots));
   }
-  if (heap_.empty() && now_ < t_end && t_end != SimTime::max()) now_ = t_end;
-  return n;
+  free_.reserve(n);
+  heap_.reserve(n);
 }
 
 }  // namespace muzha

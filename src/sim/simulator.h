@@ -25,11 +25,13 @@ class Simulator {
   Rng& rng() { return rng_; }
   Logger& logger() { return logger_; }
 
-  EventId schedule_at(SimTime t, EventCallback cb) {
-    return scheduler_.schedule_at(t, std::move(cb));
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& cb) {
+    return scheduler_.schedule_at(t, std::forward<F>(cb));
   }
-  EventId schedule_in(SimTime delay, EventCallback cb) {
-    return scheduler_.schedule_in(delay, std::move(cb));
+  template <typename F>
+  EventId schedule_in(SimTime delay, F&& cb) {
+    return scheduler_.schedule_in(delay, std::forward<F>(cb));
   }
   void cancel(EventId id) { scheduler_.cancel(id); }
 

@@ -5,7 +5,6 @@
 // timer can then be scheduled, rescheduled and cancelled freely.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "sim/assert.h"
@@ -15,9 +14,9 @@ namespace muzha {
 
 class Timer {
  public:
-  Timer(Simulator& sim, std::function<void()> on_expire)
+  Timer(Simulator& sim, EventCallback on_expire)
       : sim_(sim), on_expire_(std::move(on_expire)) {
-    MUZHA_ASSERT(on_expire_ != nullptr, "timer callback must be callable");
+    MUZHA_ASSERT(on_expire_, "timer callback must be callable");
   }
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
@@ -47,7 +46,7 @@ class Timer {
 
  private:
   Simulator& sim_;
-  std::function<void()> on_expire_;
+  EventCallback on_expire_;
   EventId id_ = kInvalidEventId;
   SimTime expiry_;
 };

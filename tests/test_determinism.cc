@@ -4,6 +4,9 @@
 // from the first run into the second shows up here as a diff.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "scenario/experiment.h"
 #include "tests/experiment_equal.h"
 
@@ -83,6 +86,72 @@ TEST(Determinism, InterleavedDifferentConfigsDoNotContaminate) {
   run_experiment(b);
   ExperimentResult again = run_experiment(a);
   expect_results_identical(first, again);
+}
+
+// ---------------------------------------------------------------------------
+// Golden pin: one 3-hop Muzha chain with every metric frozen in-test.
+//
+// The rerun tests above catch state leaks *within* a process but would not
+// notice if a code change shifted every run identically. These constants
+// were captured before the indexed-heap scheduler rewrite and must survive
+// any event-core change bit-for-bit: the (time, seq) FIFO contract promises
+// the exact same event interleaving, RNG draw order and therefore the exact
+// same floating-point metric stream. If an intentional protocol change
+// shifts them, re-capture and update the constants in the same commit.
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_series(const TimeSeries& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::uint64_t t_bits, v_bits;
+    std::memcpy(&t_bits, &s[i].t_s, 8);
+    std::memcpy(&v_bits, &s[i].value, 8);
+    h = fnv1a_u64(h, t_bits);
+    h = fnv1a_u64(h, v_bits);
+  }
+  return h;
+}
+
+TEST(Determinism, GoldenThreeHopMuzhaChainPinned) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kChain;
+  cfg.hops = 3;
+  cfg.duration = SimTime::from_seconds(8.0);
+  cfg.seed = 42;
+  cfg.flows.push_back({TcpVariant::kMuzha, 0, 3, SimTime::zero(), 8});
+
+  ExperimentResult r = run_experiment(cfg);
+  ASSERT_EQ(r.flows.size(), 1u);
+  const FlowResult& f = r.flows[0];
+
+  EXPECT_EQ(f.delivered, 272);
+  EXPECT_EQ(f.packets_sent, 274u);
+  EXPECT_EQ(f.retransmissions, 0u);
+  EXPECT_EQ(f.timeouts, 0u);
+  EXPECT_EQ(f.marked_loss_events, 0u);
+  EXPECT_EQ(f.unmarked_loss_events, 0u);
+  EXPECT_EQ(r.ifq_drops, 0u);
+  EXPECT_EQ(r.mac_retry_drops, 2u);
+  EXPECT_EQ(r.phy_collisions, 267u);
+  EXPECT_EQ(r.channel_error_losses, 0u);
+
+  // Throughput compared on exact bits, not with a tolerance: determinism
+  // means the double is identical, not merely close.
+  std::uint64_t tput_bits;
+  std::memcpy(&tput_bits, &f.throughput_bps, 8);
+  EXPECT_EQ(tput_bits, 0x41183d0000000000ull);
+
+  ASSERT_EQ(f.cwnd_trace.size(), 64u);
+  EXPECT_EQ(hash_series(f.cwnd_trace), 0xfa87cfb1cab94ea9ull);
+  ASSERT_EQ(f.throughput_series.size(), 8u);
+  EXPECT_EQ(hash_series(f.throughput_series), 0x040b1a758d6fefd1ull);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace muzha {
@@ -104,6 +105,103 @@ TEST(Scheduler, PendingEventsAccountsForCancellations) {
   EXPECT_EQ(s.pending_events(), 2u);
   s.cancel(a);
   EXPECT_EQ(s.pending_events(), 1u);
+}
+
+// Regression: the pre-rewrite scheduler tracked cancellations in a side set
+// and computed pending_events() as heap size minus set size. Cancelling an
+// id that had already fired leaked a set entry and underflowed the size_t
+// subtraction. Pin the count across every schedule -> fire -> cancel order.
+TEST(Scheduler, PendingEventsStableWhenCancellingFiredIds) {
+  Scheduler s;
+  EventId a = s.schedule_at(SimTime::from_ms(1), [] {});
+  EventId b = s.schedule_at(SimTime::from_ms(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_TRUE(s.step());  // fires a
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.cancel(a);  // already fired: must not underflow or shadow-count
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.cancel(a);  // repeated stale cancel is still a no-op
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.cancel(b);
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.cancel(b);  // cancel after cancel
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+// Many fire-then-cancel cycles must not accumulate hidden state: pending
+// stays exact and the queue still drains (the old cancelled_ set grew
+// monotonically here).
+TEST(Scheduler, RepeatedStaleCancelsDoNotAccumulate) {
+  Scheduler s;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    EventId id = s.schedule_in(SimTime::from_us(1), [] {});
+    EXPECT_EQ(s.pending_events(), 1u);
+    s.run();
+    s.cancel(id);
+    EXPECT_EQ(s.pending_events(), 0u);
+  }
+  EXPECT_EQ(s.events_executed(), 1000u);
+}
+
+// A slot is recycled after cancel/fire; the stale handle carries the old
+// generation and must not touch the slot's next tenant.
+TEST(Scheduler, StaleHandleDoesNotCancelRecycledSlot) {
+  Scheduler s;
+  int fired = 0;
+  EventId a = s.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  s.cancel(a);
+  EventId b = s.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  s.cancel(a);  // stale: same slot, older generation
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Scheduler, CancelFromInsideAnotherCallback) {
+  Scheduler s;
+  int fired = 0;
+  EventId victim = s.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  s.schedule_at(SimTime::from_ms(1), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, CancellingOwnIdFromItsCallbackIsNoOp) {
+  Scheduler s;
+  int fired = 0;
+  EventId self = kInvalidEventId;
+  self = s.schedule_at(SimTime::from_ms(1), [&] {
+    ++fired;
+    s.cancel(self);  // our id is stale by the time we run
+  });
+  s.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, MoveOnlyCapturesAreAccepted) {
+  Scheduler s;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  s.schedule_at(SimTime::from_ms(1),
+                [p = std::move(payload), &seen] { seen = *p + 1; });
+  s.run();
+  EXPECT_EQ(seen, 42);
+}
+
+// Destroying a scheduler with events still queued must release their
+// callbacks (the unique_ptr captures here leak under ASan otherwise).
+TEST(Scheduler, DestructorReleasesPendingCallbacks) {
+  auto flag = std::make_shared<int>(0);
+  {
+    Scheduler s;
+    s.schedule_at(SimTime::from_ms(1), [p = std::make_unique<int>(7)] {});
+    s.schedule_at(SimTime::from_ms(2), [flag] {});
+    EXPECT_EQ(flag.use_count(), 2);
+  }
+  EXPECT_EQ(flag.use_count(), 1);
 }
 
 TEST(Scheduler, CountsExecutedEvents) {

@@ -1,0 +1,117 @@
+// Timer edge cases around restart, self-cancellation and same-tick
+// scheduling — the patterns protocol code (TCP RTO, MAC ACK/CTS timeouts)
+// actually exercises, pinned against the rewritten event core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace muzha {
+namespace {
+
+TEST(TimerEdge, RestartWhilePendingFiresOnceAtNewExpiry) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  Timer timer(sim, [&] { fires.push_back(sim.now()); });
+  timer.schedule_in(SimTime::from_ms(10));
+  // Halfway there, push the deadline out; the first arming must be dead.
+  sim.schedule_at(SimTime::from_ms(5),
+                  [&] { timer.schedule_in(SimTime::from_ms(10)); });
+  sim.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], SimTime::from_ms(15));
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerEdge, RestartAtExactExpiryTickStillFiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  // The restart is queued before the timer is armed, so at the 10ms tick it
+  // holds the earlier sequence number: it runs first and must cancel the
+  // expiry event sitting in the same tick. The timer then fires only at
+  // 20ms. (Armed the other way round, FIFO would fire the expiry first —
+  // covered by SameTickScheduleFromCallbackRunsAfterEarlierSeq.)
+  sim.schedule_at(SimTime::from_ms(10),
+                  [&] { timer.schedule_in(SimTime::from_ms(10)); });
+  timer.schedule_in(SimTime::from_ms(10));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::from_ms(20));
+}
+
+TEST(TimerEdge, CancelFromInsideOwnCallbackIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer timer(sim, [&] {
+    ++fired;
+    self->cancel();  // the expiry event is already stale at this point
+    EXPECT_FALSE(self->pending());
+  });
+  self = &timer;
+  timer.schedule_in(SimTime::from_ms(1));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerEdge, RestartFromInsideOwnCallbackGoesPeriodic) {
+  Simulator sim;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer timer(sim, [&] {
+    if (++fired < 5) self->schedule_in(SimTime::from_ms(2));
+  });
+  self = &timer;
+  timer.schedule_in(SimTime::from_ms(2));
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), SimTime::from_ms(10));
+}
+
+// An event scheduled from a firing callback for the *current* instant must
+// run in this tick but after every event that was already queued for it —
+// it gets a later FIFO sequence number, never a requeue-at-front.
+TEST(TimerEdge, SameTickScheduleFromCallbackRunsAfterEarlierSeq) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_ms(1), [&] {
+    order.push_back(1);
+    sim.schedule_in(SimTime::zero(), [&] { order.push_back(4); });
+    sim.schedule_at(sim.now(), [&] { order.push_back(5); });
+  });
+  sim.schedule_at(SimTime::from_ms(1), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::from_ms(1), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.now(), SimTime::from_ms(1));
+}
+
+TEST(TimerEdge, DestructionWhilePendingCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer timer(sim, [&] { ++fired; });
+    timer.schedule_in(SimTime::from_ms(1));
+    EXPECT_TRUE(timer.pending());
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerEdge, ExpiryReflectsLatestArming) {
+  Simulator sim;
+  Timer timer(sim, [] {});
+  timer.schedule_in(SimTime::from_ms(10));
+  EXPECT_EQ(timer.expiry(), SimTime::from_ms(10));
+  timer.schedule_in(SimTime::from_ms(30));
+  EXPECT_EQ(timer.expiry(), SimTime::from_ms(30));
+  sim.run_until(SimTime::from_ms(5));
+  timer.schedule_in(SimTime::from_ms(10));
+  EXPECT_EQ(timer.expiry(), SimTime::from_ms(15));
+}
+
+}  // namespace
+}  // namespace muzha
