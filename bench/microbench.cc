@@ -2,6 +2,9 @@
 // channel fan-out, MAC exchange rate, and whole-stack simulation rate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+
 #include "bench/bench_util.h"
 #include "scenario/experiment.h"
 #include "sim/scheduler.h"
@@ -108,4 +111,24 @@ BENCHMARK(BM_MuzhaChainSimulatedSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): sanitized builds refuse to write
+// --benchmark_out files, so an ASan/TSan run can never be recorded as a
+// baseline under bench/baselines/ and compared against real timings.
+int main(int argc, char** argv) {
+#ifdef MUZHA_SANITIZED
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      std::fprintf(stderr,
+                   "microbench: refusing --benchmark_out in a sanitized build "
+                   "(MUZHA_SANITIZE is set); sanitizer timings must not "
+                   "become baselines\n");
+      return 1;
+    }
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

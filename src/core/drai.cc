@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "sim/assert.h"
+
 namespace muzha {
 
 std::uint8_t drai_from_queue(double q, const DraiConfig& cfg) {
+  MUZHA_DCHECK(q >= 0.0 && q <= 1.0 + 1e-9,
+               "queue occupancy must be a fraction in [0, 1]");
   if (q < cfg.q_aggressive_accel) return kDraiAggressiveAccel;
   if (q < cfg.q_moderate_accel) return kDraiModerateAccel;
   if (q < cfg.q_stabilize) return kDraiStabilize;
@@ -13,6 +17,8 @@ std::uint8_t drai_from_queue(double q, const DraiConfig& cfg) {
 }
 
 std::uint8_t drai_from_utilization(double u, const DraiConfig& cfg) {
+  MUZHA_DCHECK(u >= 0.0 && u <= 1.0 + 1e-9,
+               "medium utilization must be a fraction in [0, 1]");
   if (u < cfg.u_aggressive_accel) return kDraiAggressiveAccel;
   if (u < cfg.u_moderate_accel) return kDraiModerateAccel;
   if (u < cfg.u_stabilize) return kDraiStabilize;
@@ -26,6 +32,9 @@ std::uint8_t compute_drai(double occupancy, double utilization,
 }
 
 double apply_drai_to_cwnd(std::uint8_t drai, double cwnd) {
+  MUZHA_DCHECK(drai >= kDraiAggressiveDecel && drai <= kDraiAggressiveAccel,
+               "DRAI outside the 5-level quantization range of Table 5.2");
+  MUZHA_DCHECK(cwnd > 0.0, "congestion window must be positive");
   switch (drai) {
     case kDraiAggressiveAccel:
       cwnd = cwnd * 2.0;

@@ -14,7 +14,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "mac/mac_params.h"
 #include "phy/wireless_phy.h"
@@ -124,8 +124,11 @@ class Mac80211 {
   MacFrameType last_tx_type_ = MacFrameType::kData;
   bool forced_tx_in_flight_ = false;  // CTS/ACK response being sent
 
-  // Duplicate filtering: last sequence number seen per transmitter.
-  std::unordered_map<NodeId, std::uint16_t> rx_dedup_;
+  // Duplicate filtering: last sequence number seen per transmitter. Ordered
+  // map so any future iteration (stats, aging) is deterministic by
+  // construction; the table holds a handful of neighbors, lookup cost is
+  // equivalent.
+  std::map<NodeId, std::uint16_t> rx_dedup_;
 
   // Medium utilization accounting.
   bool medium_busy_ = false;

@@ -67,7 +67,10 @@ void Node::device_send(PacketPtr pkt, NodeId next_hop) {
 
 void Node::stamp_drai(Packet& pkt) {
   if (drai_source_ == nullptr || pkt.ip.proto != IpProto::kTcp) return;
-  pkt.ip.avbw_s = std::min(pkt.ip.avbw_s, drai_source_->current_drai());
+  std::uint8_t drai = drai_source_->current_drai();
+  MUZHA_DCHECK(drai >= kDraiAggressiveDecel && drai <= kDraiAggressiveAccel,
+               "router published a DRAI outside the 5-level range");
+  pkt.ip.avbw_s = std::min(pkt.ip.avbw_s, drai);
   if (drai_source_->should_mark()) pkt.ip.congestion_marked = true;
 }
 

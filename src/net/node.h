@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "net/agent.h"
 #include "net/routing_protocol.h"
@@ -83,7 +83,9 @@ class Node {
   std::unique_ptr<RoutingProtocol> routing_;
   DraiSource* drai_source_ = nullptr;
   TraceSink* trace_ = nullptr;
-  std::unordered_map<std::uint16_t, Agent*> agents_;
+  // Ordered map (a node binds a handful of ports): keeps any future walk of
+  // the agent table deterministic and avoids hashing on the demux path.
+  std::map<std::uint16_t, Agent*> agents_;
   std::uint64_t uid_counter_ = 0;
 
   std::uint64_t forwarded_ = 0;

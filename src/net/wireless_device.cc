@@ -1,5 +1,7 @@
 #include "net/wireless_device.h"
 
+#include "sim/assert.h"
+
 namespace muzha {
 
 WirelessDevice::WirelessDevice(Simulator& sim, Channel& channel, NodeId id,
@@ -29,6 +31,8 @@ bool WirelessDevice::send(PacketPtr pkt, NodeId next_hop) {
 void WirelessDevice::feed_mac() {
   if (!mac_.idle() || queue_.empty()) return;
   auto entry = queue_.dequeue();
+  MUZHA_DCHECK(sim_.now() >= entry.enqueued_at,
+               "packet dequeued before it was enqueued (time ran backwards)");
   // Accumulate per-hop queueing delay (the RoVegas forward-path option).
   entry.pkt->ip.accum_queue_delay += sim_.now() - entry.enqueued_at;
   mac_.transmit(std::move(entry.pkt), entry.next_hop);

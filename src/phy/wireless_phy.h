@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "phy/channel.h"
 #include "phy/phy_params.h"
@@ -85,7 +85,9 @@ class WirelessPhy {
   bool tx_active_ = false;
   int sensed_signals_ = 0;
   // Distances of all currently arriving signals, keyed by signal sequence.
-  std::unordered_map<std::uint64_t, double> active_signals_;
+  // Ordered map: signal_start() iterates this to decide frame capture, so
+  // the walk must not depend on hash-bucket layout.
+  std::map<std::uint64_t, double> active_signals_;
 
   // In-progress decode.
   std::uint64_t next_signal_seq_ = 1;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pkt/aodv_messages.h"
+#include "sim/assert.h"
 #include "sim/sim_time.h"
 
 namespace muzha {
@@ -132,12 +133,27 @@ struct Packet {
   IpHeader ip;
   std::variant<std::monostate, TcpHeader, AodvMessage> l4;
 
-  TcpHeader& tcp() { return std::get<TcpHeader>(l4); }
-  const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
+  // Layer discipline (debug builds): a layer must only read the header it
+  // negotiated — std::get would throw eventually, but the DCHECK names the
+  // violating call site instead of unwinding to a generic handler.
+  TcpHeader& tcp() {
+    MUZHA_DCHECK(has_tcp(), "layer discipline: packet carries no TCP header");
+    return std::get<TcpHeader>(l4);
+  }
+  const TcpHeader& tcp() const {
+    MUZHA_DCHECK(has_tcp(), "layer discipline: packet carries no TCP header");
+    return std::get<TcpHeader>(l4);
+  }
   bool has_tcp() const { return std::holds_alternative<TcpHeader>(l4); }
 
-  AodvMessage& aodv() { return std::get<AodvMessage>(l4); }
-  const AodvMessage& aodv() const { return std::get<AodvMessage>(l4); }
+  AodvMessage& aodv() {
+    MUZHA_DCHECK(has_aodv(), "layer discipline: packet carries no AODV message");
+    return std::get<AodvMessage>(l4);
+  }
+  const AodvMessage& aodv() const {
+    MUZHA_DCHECK(has_aodv(), "layer discipline: packet carries no AODV message");
+    return std::get<AodvMessage>(l4);
+  }
   bool has_aodv() const { return std::holds_alternative<AodvMessage>(l4); }
 };
 

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/node.h"
@@ -111,10 +111,13 @@ class Aodv final : public RoutingProtocol {
   Node& node_;
   AodvParams params_;
 
-  std::unordered_map<NodeId, Route> routes_;
-  std::unordered_map<NodeId, PendingDiscovery> pending_;
+  // Ordered maps, not unordered: on_link_failure() iterates routes_ to build
+  // the RERR unreachable list, and that order reaches the wire. Sorted-key
+  // iteration keeps it independent of hashing and allocation history.
+  std::map<NodeId, Route> routes_;
+  std::map<NodeId, PendingDiscovery> pending_;
   // Duplicate RREQ cache: (origin, rreq_id) -> expiry.
-  std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
+  std::map<std::uint64_t, SimTime> rreq_seen_;
 
   std::uint32_t own_seq_ = 0;
   std::uint32_t next_rreq_id_ = 0;

@@ -4,7 +4,7 @@
 // transport behaviour from route-discovery dynamics.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "net/node.h"
 #include "net/routing_protocol.h"
@@ -35,7 +35,9 @@ class StaticRouting final : public RoutingProtocol {
 
  private:
   Node& node_;
-  std::unordered_map<NodeId, NodeId> table_;
+  // Ordered map: a fixed table that tests may print or diff; sorted-key
+  // iteration makes that output stable.
+  std::map<NodeId, NodeId> table_;
   std::uint64_t drops_no_route_ = 0;
   std::uint64_t drops_link_failure_ = 0;
 };

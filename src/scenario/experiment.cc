@@ -1,7 +1,6 @@
 #include "scenario/experiment.h"
 
 #include <deque>
-#include <unordered_map>
 
 #include "relwork/adtcp.h"
 #include "relwork/ecn.h"

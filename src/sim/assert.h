@@ -1,8 +1,22 @@
-// Always-on invariant checks for the simulator.
+// Invariant checks for the simulator.
 //
-// Simulation bugs usually manifest far from their cause; MUZHA_ASSERT keeps
-// checks enabled in release builds so broken invariants fail loudly at the
-// point of violation instead of producing silently wrong results.
+// Two tiers:
+//
+//   MUZHA_ASSERT — always on, release builds included. Simulation bugs
+//   usually manifest far from their cause; these stay enabled so broken
+//   invariants fail loudly at the point of violation instead of producing
+//   silently wrong results. Reserve them for cheap checks on cold or
+//   already-branchy paths.
+//
+//   MUZHA_DCHECK — debug-build instrumentation, compiled out entirely in
+//   release builds (the condition is not evaluated), so hot-path checks cost
+//   nothing in tier-1 runs. Enabled by -DMUZHA_DCHECKS=ON (CMake turns them
+//   on automatically for Debug and sanitized builds). Use them for packet
+//   layer discipline, scheduler slot/heap consistency, DRAI range checks and
+//   other per-event invariants too hot for MUZHA_ASSERT.
+//
+// Both report file:line plus the failed expression and abort, so sanitizer
+// runs get a precise stack.
 #pragma once
 
 #include <cstdio>
@@ -16,3 +30,28 @@
       std::abort();                                                           \
     }                                                                         \
   } while (0)
+
+#ifndef MUZHA_DCHECK_ENABLED
+#define MUZHA_DCHECK_ENABLED 0
+#endif
+
+#if MUZHA_DCHECK_ENABLED
+#define MUZHA_DCHECK(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "MUZHA_DCHECK failed at %s:%d: %s -- %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+#else
+// Compiled out: the condition is type-checked but never evaluated, so
+// release builds pay nothing (not even a branch) for debug instrumentation.
+#define MUZHA_DCHECK(cond, msg)                                               \
+  do {                                                                        \
+    if (false) {                                                              \
+      static_cast<void>(cond);                                                \
+      static_cast<void>(msg);                                                 \
+    }                                                                         \
+  } while (0)
+#endif

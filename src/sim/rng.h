@@ -39,6 +39,7 @@ class Rng {
   bool chance(double p) { return uniform() < p; }
 
  private:
+  // muzha-lint: allow(banned-seed): every Rng constructor seeds engine_ in its init list
   std::mt19937_64 engine_;
 };
 

@@ -90,8 +90,13 @@ class Scheduler {
     if (id == kInvalidEventId) return;
     const std::uint32_t slot = slot_of(id);
     if (slot >= meta_.size()) return;
+    MUZHA_DCHECK(gen_of(id) != 0,
+                 "EventId with generation 0: forged or corrupted handle");
     SlotMeta& m = meta_[slot];
     if (m.gen != gen_of(id) || m.heap_pos == kNotInHeap) return;
+    MUZHA_DCHECK(m.heap_pos < heap_.size() && heap_[m.heap_pos].slot == slot,
+                 "slot/heap cross-link broken: cancelled EventId points at a "
+                 "recycled slot (use-after-free of the handle)");
     remove_from_heap(slot);
     slot_cb(slot) = nullptr;
     release_slot(slot);
@@ -121,6 +126,11 @@ class Scheduler {
     if (heap_.empty()) return false;
     const HeapEntry top = heap_[0];
     MUZHA_ASSERT(top.time >= now_, "event heap yielded a past event");
+    MUZHA_DCHECK(meta_[top.slot].heap_pos == 0,
+                 "heap top does not cross-link back to its slot");
+    MUZHA_DCHECK(static_cast<bool>(slot_cb(top.slot)),
+                 "firing slot holds no callback (double fire or slot "
+                 "recycling bug)");
     now_ = top.time;
     // Move the callback out and retire the slot before invoking: the
     // callback may schedule new events (growing the pool) or cancel its

@@ -24,6 +24,7 @@ class Timer {
 
   // (Re)schedules the timer to fire `delay` from now.
   void schedule_in(SimTime delay) {
+    MUZHA_DCHECK(delay >= SimTime::zero(), "timer delay must be non-negative");
     cancel();
     expiry_ = sim_.now() + delay;
     id_ = sim_.schedule_in(delay, [this] {

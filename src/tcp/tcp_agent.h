@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
+#include <set>
 
 #include "net/agent.h"
 #include "net/node.h"
@@ -128,7 +128,9 @@ class TcpAgent : public Agent {
   Timer rtx_timer_;
 
   // Karn's rule: segments that were retransmitted are never RTT-sampled.
-  std::unordered_set<std::int64_t> retx_seqs_;
+  // Ordered set: receive() prunes it with std::erase_if, and erasure order
+  // must not depend on hash-bucket layout.
+  std::set<std::int64_t> retx_seqs_;
 
   std::uint64_t packets_sent_ = 0;
   std::uint64_t retransmissions_ = 0;

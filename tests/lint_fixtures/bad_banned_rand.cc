@@ -1,0 +1,11 @@
+// Fixture: libc / global RNG bans. Not compiled — read only by muzha-lint.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  int a = std::rand();    // expect: banned-rand
+  srand(7);               // expect: banned-rand
+  double b = drand48();   // expect: banned-rand
+  std::random_device rd;  // expect: banned-rand
+  return a + static_cast<int>(b) + static_cast<int>(rd());
+}

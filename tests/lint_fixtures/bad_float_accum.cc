@@ -1,0 +1,8 @@
+// Fixture: float-typed accumulation state. Not compiled — read only by
+// muzha-lint.
+struct Ewma {
+  float value_ = 0.0f;      // expect: float-accum
+  void add(float sample) {  // expect: float-accum
+    value_ += sample;
+  }
+};

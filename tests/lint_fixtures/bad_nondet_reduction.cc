@@ -1,0 +1,14 @@
+// Fixture: unordered reductions. Not compiled — read only by muzha-lint.
+#include <functional>
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  double a = std::reduce(xs.begin(), xs.end(), 0.0);  // expect: nondet-reduction
+  double b = std::transform_reduce(  // expect: nondet-reduction
+      xs.begin(), xs.end(), 0.0, std::plus<>{}, [](double x) { return -x; });
+  double c = 0.0;
+#pragma omp parallel for reduction(+ : c)  // expect: nondet-reduction
+  for (std::size_t i = 0; i < xs.size(); ++i) c += xs[i];
+  return a + b + c;
+}

@@ -1,0 +1,12 @@
+// Fixture: pointer-keyed containers. Not compiled — read only by muzha-lint.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node;
+
+struct Registry {
+  std::map<Node*, int> weight_;           // expect: pointer-key
+  std::unordered_map<Node*, int> index_;  // expect: pointer-key
+  std::set<const Node*> live_;            // expect: pointer-key
+};

@@ -1,0 +1,18 @@
+// Fixture: pointer values leaking into numbers/ordering. Not compiled — read
+// only by muzha-lint.
+#include <cstdint>
+#include <functional>
+
+struct Pkt;
+
+std::uint64_t fingerprint(const Pkt* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // expect: pointer-order
+}
+
+std::size_t bucket(const Pkt* p) {
+  return std::hash<const Pkt*>{}(p);  // expect: pointer-order
+}
+
+bool before(const Pkt* a, const Pkt* b) {
+  return std::less<const Pkt*>{}(a, b);  // expect: pointer-order
+}

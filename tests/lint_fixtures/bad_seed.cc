@@ -1,0 +1,8 @@
+// Fixture: implicitly seeded engines. Not compiled — read only by muzha-lint.
+#include <random>
+
+unsigned draw() {
+  std::mt19937 gen;  // expect: banned-seed
+  gen.seed();        // expect: banned-seed
+  return gen();
+}

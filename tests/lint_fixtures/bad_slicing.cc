@@ -1,0 +1,14 @@
+// Fixture: by-value parameters of polymorphic types. Not compiled — read only
+// by muzha-lint.
+class BaseAgent {
+ public:
+  virtual ~BaseAgent() = default;
+  virtual void tick();
+};
+
+void dispatch(BaseAgent agent);     // expect: slicing
+void log_agent(const BaseAgent a);  // expect: slicing
+
+// Control: references and pointers do not slice — no findings.
+void observe(const BaseAgent& a);
+void adopt(BaseAgent* a);

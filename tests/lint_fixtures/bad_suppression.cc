@@ -1,0 +1,11 @@
+// Fixture: malformed and dead suppressions are themselves findings. Not
+// compiled — read only by muzha-lint.
+#include <cstdlib>
+
+int lazy() {
+  // muzha-lint: allow(banned-rand) -- expect: bad-suppression
+  int a = std::rand();  // expect: banned-rand
+  // muzha-lint: allow(no-such-rule): typo'd id -- expect: unknown-rule
+  // muzha-lint: allow(banned-wall-clock): nothing here reads the clock -- expect: unused-suppression
+  return a;
+}

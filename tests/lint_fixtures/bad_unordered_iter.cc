@@ -1,0 +1,26 @@
+// Fixture: iteration over unordered containers. Not compiled — read only by
+// muzha-lint.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Table {
+  std::unordered_map<std::uint32_t, int> routes_;
+  std::unordered_set<std::uint32_t> seen_;
+  std::unordered_map<int, std::vector<int>> deps_;
+
+  int sum() const {
+    int acc = 0;
+    for (const auto& [k, v] : routes_) acc += v;  // expect: unordered-iter
+    (void)seen_.begin();                          // expect: unordered-iter
+    for (const auto& [k, vs] : deps_) {           // expect: unordered-iter
+      acc += static_cast<int>(vs.size()) + static_cast<int>(k);
+    }
+    return acc;
+  }
+
+  void prune() {
+    std::erase_if(seen_, [](std::uint32_t v) { return v == 0; });  // expect: unordered-iter
+  }
+};

@@ -1,0 +1,14 @@
+// Fixture: polymorphic class without a virtual destructor. Not compiled —
+// read only by muzha-lint.
+class LeakyAgent {  // expect: virtual-dtor
+ public:
+  virtual void on_packet();
+  void close();
+};
+
+// Control: a final class with no base cannot be deleted through a different
+// static type, so no finding.
+class SealedAgent final {
+ public:
+  virtual void on_packet();
+};

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads. Not compiled — read only by muzha-lint.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long stamp() {
+  long t = time(nullptr);                     // expect: banned-wall-clock
+  auto n = std::chrono::system_clock::now();  // expect: banned-wall-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                 // expect: banned-wall-clock
+  (void)n;
+  return t + tv.tv_sec;
+}

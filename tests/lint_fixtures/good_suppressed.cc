@@ -1,0 +1,20 @@
+// Fixture: every suppression below is justified and used — muzha-lint must
+// report zero findings for this file. Not compiled — read only by muzha-lint.
+#include <cstdlib>
+#include <unordered_map>
+
+struct Cache {
+  std::unordered_map<int, int> slots_;
+
+  int drain() {
+    int acc = 0;
+    // muzha-lint: allow(unordered-iter): fixture - the sum is order-independent
+    for (const auto& [k, v] : slots_) acc += v;
+    return acc;
+  }
+};
+
+int jitter() {
+  // muzha-lint: allow(banned-rand): fixture - demonstrates a justified suppression
+  return std::rand();
+}

@@ -1,0 +1,503 @@
+#!/usr/bin/env python3
+"""muzha-lint: determinism & memory-safety checker for the Muzha simulator.
+
+The simulator's headline property is bit-determinism: a (scenario, seed) pair
+fully determines every event, RNG draw and floating-point metric. The test
+suite pins that with byte-identity and golden-hash tests, but nothing stops a
+refactor from *introducing* a hazard that only diverges on another machine or
+allocator. This checker mechanically bans the constructs that leak wall-clock
+time, hash-bucket layout or address-space randomization into model behavior,
+plus the classic C++ memory-safety foot-guns on polymorphic agents.
+
+It is a token/AST-lite checker: comments and string literals are stripped,
+class bodies are brace-matched, and everything else is line-oriented regex.
+That is deliberate — it runs in milliseconds as a ctest with zero
+dependencies, and the rules target constructs that are reliably visible at
+token level. (Raw string literals are not handled; the codebase has none.)
+
+Rules (see DESIGN.md "Correctness tooling" for the catalog):
+
+  banned-rand        libc/global RNGs (std::rand, srand, drand48, random(),
+                     std::random_device) — all randomness must flow from the
+                     seeded per-Simulator muzha::Rng.
+  banned-wall-clock  time(), clock(), gettimeofday, std::chrono::*_clock —
+                     wall-clock reads make runs time-dependent.
+  banned-seed        default-constructed std random engines or argless
+                     .seed() — an implicit seed is an unpinned seed.
+  unordered-iter     iteration (range-for, .begin, std::erase_if) over a
+                     variable declared std::unordered_map/set — iteration
+                     order depends on hashing and allocation history.
+  pointer-key        associative containers keyed by pointer — ASLR decides
+                     the order (and for unordered, the buckets).
+  pointer-order      reinterpret_cast<uintptr_t>, std::hash<T*>,
+                     std::less<T*> — pointer values leaking into arithmetic
+                     or ordering.
+  nondet-reduction   std::reduce / std::transform_reduce / std::execution::par
+                     / #pragma omp — reduction order is unspecified, float
+                     sums differ run to run.
+  float-accum        `float`-typed state in model code — single precision
+                     amplifies rounding and accumulation-order sensitivity;
+                     simulation state is double.
+  virtual-dtor       non-final class with virtual methods, no base class and
+                     no virtual destructor — deleting through a base pointer
+                     is UB.
+  slicing            by-value parameter of a polymorphic class — copies the
+                     base subobject and silently drops the derived state.
+
+Suppressions (each must carry a one-line justification after the colon):
+
+  // muzha-lint: allow(rule-id): why this occurrence is safe
+  // muzha-lint: allow-file(rule-id): why this whole file is exempt
+
+A line suppression covers its own line and the next line (so it can sit on
+the line above the finding). A suppression with no justification, an unknown
+rule id, or one that suppresses nothing is itself reported (bad-suppression /
+unknown-rule / unused-suppression): dead suppressions rot into blanket
+exemptions.
+
+Exit status: 0 when clean, 1 when any finding survives, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+RULES = {
+    "banned-rand": "global RNG: all randomness must come from the seeded muzha::Rng",
+    "banned-wall-clock": "wall-clock read: simulation time is SimTime, never host time",
+    "banned-seed": "implicitly seeded RNG engine: pass an explicit seed",
+    "unordered-iter": "iteration over an unordered container: order depends on hashing/allocation",
+    "pointer-key": "pointer-keyed container: ASLR decides iteration order",
+    "pointer-order": "pointer value used as number: leaks ASLR into behavior",
+    "nondet-reduction": "unordered reduction: float accumulation order is unspecified",
+    "float-accum": "float-typed state: use double, single precision amplifies order sensitivity",
+    "virtual-dtor": "polymorphic class without virtual destructor: deletion via base pointer is UB",
+    "slicing": "by-value parameter of polymorphic type: slices off derived state",
+    # Meta rules (not suppressible, no fixtures needed beyond the dedicated ones).
+    "bad-suppression": "suppression without a justification",
+    "unknown-rule": "suppression names an unknown rule id",
+    "unused-suppression": "suppression that suppressed nothing",
+}
+
+META_RULES = {"bad-suppression", "unknown-rule", "unused-suppression"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    detail: str
+
+
+@dataclasses.dataclass
+class Suppression:
+    line: int  # 1-based line the comment sits on
+    rule: str
+    justification: str
+    file_level: bool
+    used: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Lexing: strip comments and string literals, keep comment text per line.
+# ---------------------------------------------------------------------------
+
+def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
+    """Returns (code_lines, comment_lines), same line count as `text`.
+
+    Code lines have comments and string/char literal contents blanked;
+    comment lines hold only the comment text of that line.
+    """
+    code: list[str] = []
+    comments: list[str] = []
+    cur_code: list[str] = []
+    cur_comment: list[str] = []
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                cur_code.append('"')
+                state = "dquote"
+                i += 1
+                continue
+            if c == "'":
+                cur_code.append("'")
+                state = "squote"
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                cur_comment.append(c)
+                i += 1
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                i += 2  # skip escaped char
+            elif c == quote:
+                cur_code.append(quote)
+                state = "code"
+                i += 1
+            else:
+                cur_code.append(" ")  # blank literal contents
+                i += 1
+    code.append("".join(cur_code))
+    comments.append("".join(cur_comment))
+    return code, comments
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+SUPPRESS_RE = re.compile(
+    r"muzha-lint:\s*allow(?P<file>-file)?\(\s*(?P<rule>[\w-]+)\s*\)"
+    r"(?P<colon>\s*:\s*(?P<just>.*\S)?)?"
+)
+
+
+def parse_suppressions(
+    comment_lines: list[str], path: str
+) -> tuple[list[Suppression], list[Finding]]:
+    sups: list[Suppression] = []
+    findings: list[Finding] = []
+    for idx, comment in enumerate(comment_lines, start=1):
+        for m in SUPPRESS_RE.finditer(comment):
+            rule = m.group("rule")
+            just = (m.group("just") or "").strip()
+            if rule not in RULES or rule in META_RULES:
+                findings.append(
+                    Finding(path, idx, "unknown-rule",
+                            f"allow({rule}) names no known rule"))
+                continue
+            if not just:
+                findings.append(
+                    Finding(path, idx, "bad-suppression",
+                            f"allow({rule}) carries no justification "
+                            "(syntax: allow(rule): why it is safe)"))
+                continue
+            sups.append(Suppression(idx, rule, just, m.group("file") is not None))
+    return sups, findings
+
+
+# ---------------------------------------------------------------------------
+# Class parsing (for virtual-dtor and slicing)
+# ---------------------------------------------------------------------------
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?P<name>\w+)\s*"
+    r"(?P<final>final\s*)?(?P<base>:\s*[^;{}]+)?\{"
+)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str
+    line: int  # 1-based line of the head
+    is_final: bool
+    bases: list[str]
+    body: str
+
+
+def parse_classes(code_text: str) -> list[ClassInfo]:
+    classes: list[ClassInfo] = []
+    for m in CLASS_HEAD_RE.finditer(code_text):
+        head_start = m.start()
+        # Skip `enum class` and `enum struct`.
+        prefix = code_text[max(0, head_start - 16):head_start]
+        if re.search(r"\benum\s*$", prefix):
+            continue
+        brace = m.end() - 1  # position of '{'
+        depth = 0
+        end = None
+        for i in range(brace, len(code_text)):
+            if code_text[i] == "{":
+                depth += 1
+            elif code_text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        if end is None:
+            continue  # unbalanced; give up on this head
+        bases = []
+        if m.group("base"):
+            for part in m.group("base").lstrip(":").split(","):
+                words = re.findall(r"\w+", part)
+                # last identifier of e.g. `public muzha::TraceSink`
+                if words:
+                    bases.append(words[-1])
+        classes.append(ClassInfo(
+            name=m.group("name"),
+            line=code_text.count("\n", 0, head_start) + 1,
+            is_final=m.group("final") is not None,
+            bases=bases,
+            body=code_text[brace + 1:end],
+        ))
+    return classes
+
+
+def collect_polymorphic(all_classes: list[ClassInfo]) -> set[str]:
+    poly = {c.name for c in all_classes if re.search(r"\bvirtual\b", c.body)}
+    # Derivation closure: a subclass of a polymorphic class is polymorphic.
+    changed = True
+    while changed:
+        changed = False
+        for c in all_classes:
+            if c.name not in poly and any(b in poly for b in c.bases):
+                poly.add(c.name)
+                changed = True
+    return poly
+
+
+# ---------------------------------------------------------------------------
+# Unordered-container tracking
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def find_unordered_names(code_lines: list[str]) -> set[str]:
+    """Names of variables/members/params declared with an unordered type."""
+    names: set[str] = set()
+    text = "\n".join(code_lines)
+    for m in UNORDERED_DECL_RE.finditer(text):
+        # Walk the template argument list to its matching '>'.
+        depth = 0
+        i = m.end() - 1
+        end = None
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+            i += 1
+        if end is None:
+            continue
+        tail = text[end + 1:end + 120]
+        dm = re.match(r"\s*[&*]?\s*(\w+)\s*(?:[;={(,)]|$)", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Line rules
+# ---------------------------------------------------------------------------
+
+SIMPLE_LINE_RULES: list[tuple[str, re.Pattern[str], str]] = [
+    ("banned-rand", re.compile(r"\b(?:std::)?rand\s*\(\s*\)"), "std::rand()"),
+    ("banned-rand", re.compile(r"\bsrand\s*\("), "srand()"),
+    ("banned-rand", re.compile(r"\b(?:d|l|m)rand48\b"), "*rand48"),
+    ("banned-rand", re.compile(r"\brandom\s*\(\s*\)"), "random()"),
+    ("banned-rand", re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    ("banned-wall-clock", re.compile(r"\btime\s*\("), "time()"),
+    ("banned-wall-clock", re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+    ("banned-wall-clock",
+     re.compile(r"\b(?:gettimeofday|clock_gettime|localtime|gmtime|strftime|ctime)\s*\("),
+     "libc wall-clock API"),
+    ("banned-wall-clock",
+     re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "std::chrono clock"),
+    ("banned-seed",
+     re.compile(r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+                r"|ranlux\w+|knuth_b)\s+\w+\s*(?:;|\{\s*\})"),
+     "default-constructed random engine"),
+    ("banned-seed", re.compile(r"\.seed\s*\(\s*\)"), "argless .seed()"),
+    ("pointer-key",
+     re.compile(r"\b(?:std::)?(?:unordered_)?(?:map|multimap)\s*<\s*[\w:<>\s]*\*\s*,"),
+     "pointer-keyed map"),
+    ("pointer-key",
+     re.compile(r"\b(?:std::)?(?:unordered_)?(?:multi)?set\s*<\s*[\w:<>\s]*\*\s*>"),
+     "pointer-keyed set"),
+    ("pointer-order",
+     re.compile(r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>"),
+     "pointer cast to integer"),
+    ("pointer-order", re.compile(r"\bstd::hash\s*<[^<>]*\*\s*>"), "std::hash over pointer"),
+    ("pointer-order", re.compile(r"\bstd::less\s*<[^<>]*\*\s*>"), "std::less over pointer"),
+    ("nondet-reduction",
+     re.compile(r"\bstd::(?:transform_)?reduce\b"), "std::reduce family"),
+    ("nondet-reduction", re.compile(r"\bstd::execution::par"), "parallel execution policy"),
+    ("nondet-reduction", re.compile(r"^\s*#\s*pragma\s+omp\b"), "OpenMP pragma"),
+    ("float-accum", re.compile(r"\bfloat\b"), "float type"),
+]
+
+
+def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, comment_lines = split_code_and_comments(text)
+    sups, findings = parse_suppressions(comment_lines, rel)
+
+    raw: list[Finding] = []
+
+    for idx, line in enumerate(code_lines, start=1):
+        for rule, pat, what in SIMPLE_LINE_RULES:
+            if pat.search(line):
+                raw.append(Finding(rel, idx, rule, f"{what}: {RULES[rule]}"))
+
+    # unordered-iter: iteration sites over names declared unordered here.
+    unordered = find_unordered_names(code_lines)
+    if unordered:
+        iter_pats = [
+            re.compile(r"for\s*\([^;()]*?:\s*(\w+)\s*\)"),          # range-for
+            re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(\s*\)"),      # .begin()
+            re.compile(r"\bstd::erase_if\s*\(\s*(\w+)\b"),          # erase_if
+        ]
+        for idx, line in enumerate(code_lines, start=1):
+            for pat in iter_pats:
+                for m in pat.finditer(line):
+                    if m.group(1) in unordered:
+                        raw.append(Finding(
+                            rel, idx, "unordered-iter",
+                            f"iterating '{m.group(1)}': {RULES['unordered-iter']}"))
+
+    # Class-level rules.
+    code_text = "\n".join(code_lines)
+    for cls in parse_classes(code_text):
+        has_virtual = re.search(r"\bvirtual\b", cls.body)
+        has_virtual_dtor = (
+            re.search(r"\bvirtual\s+~", cls.body)
+            or re.search(r"~\w+\s*\(\s*\)\s*(?:override|final)", cls.body))
+        if has_virtual and not has_virtual_dtor and not cls.bases and not cls.is_final:
+            raw.append(Finding(
+                rel, cls.line, "virtual-dtor",
+                f"class '{cls.name}': {RULES['virtual-dtor']}"))
+
+    # slicing: by-value parameters of polymorphic types (from the whole scan).
+    if poly_names:
+        slice_pat = re.compile(
+            r"[(,]\s*(?:const\s+)?(" + "|".join(map(re.escape, sorted(poly_names)))
+            + r")\s+\w+\s*[,)=]")
+        for idx, line in enumerate(code_lines, start=1):
+            for m in slice_pat.finditer(line):
+                raw.append(Finding(
+                    rel, idx, "slicing",
+                    f"'{m.group(1)}' passed by value: {RULES['slicing']}"))
+
+    # Apply suppressions.
+    for f in raw:
+        sup = None
+        for s in sups:
+            if s.rule != f.rule:
+                continue
+            if s.file_level or s.line in (f.line, f.line - 1):
+                sup = s
+                break
+        if sup is not None:
+            sup.used = True
+        else:
+            findings.append(f)
+
+    for s in sups:
+        if not s.used:
+            findings.append(Finding(
+                rel, s.line, "unused-suppression",
+                f"allow({s.rule}) suppressed nothing — remove it"))
+
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+        else:
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = sorted(d for d in dirnames if d != "lint_fixtures")
+                for fn in sorted(filenames):
+                    if fn.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def lint_paths(root: str, paths: list[str]) -> list[Finding]:
+    files = collect_files(root, paths)
+    # Pass 1: polymorphic class names across the whole scanned set, so the
+    # slicing rule sees types declared in another header.
+    all_classes: list[ClassInfo] = []
+    per_file_code: dict[str, None] = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            code_lines, _ = split_code_and_comments(f.read())
+        all_classes.extend(parse_classes("\n".join(code_lines)))
+        per_file_code[path] = None
+    poly = collect_polymorphic(all_classes)
+
+    findings: list[Finding] = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        findings.extend(lint_file(path, rel, poly))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root (default: cwd)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories relative to --root (default: src)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            meta = " (meta)" if rule in META_RULES else ""
+            print(f"{rule}{meta}: {desc}")
+        return 0
+
+    paths = args.paths or ["src"]
+    findings = lint_paths(args.root, paths)
+    for f in findings:
+        print(f"{f.path}:{f.line}: error: [{f.rule}] {f.detail}")
+    if findings:
+        print(f"muzha-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"muzha-lint: clean ({len(collect_files(args.root, paths))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

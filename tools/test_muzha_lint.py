@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Golden-fixture suite for muzha-lint.
+
+Each file under tests/lint_fixtures/ marks every expected finding with an
+`expect: <rule-id>` comment on the exact line the linter must report (class
+level findings carry the marker on the class-head line). This driver runs
+muzha_lint.lint_paths() over the fixture directory and diffs the actual
+(file, line, rule) triples against the markers — both missed findings and
+unexpected extras fail, so rule regressions AND false-positive regressions
+are caught. It also enforces the coverage floor: the fixtures must pin at
+least 8 distinct rule IDs, or the suite is no longer exercising the checker.
+
+Run directly (repo root is inferred) or via `ctest -R muzha_lint_fixtures`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import muzha_lint  # noqa: E402
+
+FIXTURE_DIR = os.path.join("tests", "lint_fixtures")
+MIN_DISTINCT_RULES = 8
+MARKER_RE = re.compile(r"expect:\s*([\w-]+(?:\s*,\s*[\w-]+)*)")
+
+
+def expected_findings(root: str) -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    fixture_abs = os.path.join(root, FIXTURE_DIR)
+    for fn in sorted(os.listdir(fixture_abs)):
+        if not fn.endswith(muzha_lint.CXX_EXTENSIONS):
+            continue
+        rel = os.path.join(FIXTURE_DIR, fn)
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = MARKER_RE.search(line)
+                if not m:
+                    continue
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    if rule not in muzha_lint.RULES:
+                        raise SystemExit(
+                            f"{rel}:{lineno}: marker names unknown rule '{rule}'")
+                    expected.add((rel, lineno, rule))
+    return expected
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    expected = expected_findings(root)
+    actual = {(f.path, f.line, f.rule)
+              for f in muzha_lint.lint_paths(root, [FIXTURE_DIR])}
+
+    ok = True
+    for path, line, rule in sorted(expected - actual):
+        print(f"MISSED   {path}:{line}: [{rule}] marked but not reported")
+        ok = False
+    for path, line, rule in sorted(actual - expected):
+        print(f"SPURIOUS {path}:{line}: [{rule}] reported but not marked")
+        ok = False
+
+    rules_pinned = {rule for _, _, rule in expected}
+    if len(rules_pinned) < MIN_DISTINCT_RULES:
+        print(f"COVERAGE fixtures pin only {len(rules_pinned)} distinct rule "
+              f"IDs, need >= {MIN_DISTINCT_RULES}: {sorted(rules_pinned)}")
+        ok = False
+
+    if ok:
+        print(f"muzha-lint fixtures OK: {len(expected)} findings across "
+              f"{len(rules_pinned)} rules match exactly")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
