@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       cfg.drai.q_moderate_decel = k.q2;
       cfg.drai.use_queue_gradient = k.gradient;
       auto res = run_experiment(cfg);
-      thr += res.flows[0].throughput_bps / 1e3;
+      thr += res.flows[0].throughput.value() / 1e3;
       retx += static_cast<double>(res.flows[0].retransmissions);
       to += static_cast<double>(res.flows[0].timeouts);
     }

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         cfg.uniform_error_rate = er;
         cfg.muzha_loss_discrimination = (mode == 0);
         auto res = run_experiment(cfg);
-        thr[mode] += res.flows[0].throughput_bps / 1e3;
+        thr[mode] += res.flows[0].throughput.value() / 1e3;
         if (mode < 2) {
           halvings[mode] +=
               static_cast<double>(res.flows[0].marked_loss_events);

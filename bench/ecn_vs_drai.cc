@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       for (int s = 0; s < seeds; ++s) {
         auto res =
             run_experiment(chain_single_flow(v, hops, 32, 30.0, 1 + s));
-        thr += res.flows[0].throughput_bps / 1e3 / seeds;
+        thr += res.flows[0].throughput.value() / 1e3 / seeds;
         retx += static_cast<double>(res.flows[0].retransmissions) / seeds;
       }
       char cell[32];

@@ -22,7 +22,7 @@ void print_trace(const char* label, const muzha::TimeSeries& trace,
   std::size_t idx = 0;
   double v = 0.0;
   for (double t = 0.0; t <= t_end_s + 1e-9; t += step_s) {
-    while (idx < trace.size() && trace[idx].t_s <= t) {
+    while (idx < trace.size() && trace[idx].t.value() <= t) {
       v = trace[idx].value;
       ++idx;
     }
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       std::snprintf(label, sizeof(label), "%-8s [0-2s] ", variant_name(v));
       print_trace(label, f.cwnd_trace, 2.0, 0.025);
       std::printf("%-8s summary: thr=%.1f kbps retx=%llu timeouts=%llu\n",
-                  variant_name(v), f.throughput_bps / 1e3,
+                  variant_name(v), f.throughput.value() / 1e3,
                   static_cast<unsigned long long>(f.retransmissions),
                   static_cast<unsigned long long>(f.timeouts));
     }

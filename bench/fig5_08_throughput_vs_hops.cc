@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < std::size(kPaperVariants); ++i) {
         ReplicatedStats s = replication_stats(
             results[point++],
-            [](const ExperimentResult& r) { return r.flows[0].throughput_bps; });
+            [](const ExperimentResult& r) { return r.flows[0].throughput.value(); });
         std::printf("%16s", stat_cell(s, 1e3).c_str());
       }
       std::printf("\n");

@@ -72,8 +72,8 @@ int main(int argc, char** argv) {
     for (int hops : hop_counts) {
       ReplicatedStats a_stats, b_stats, jain_stats;
       for (const ExperimentResult& res : results[point++]) {
-        double a = res.flows[0].throughput_bps / 1e3;
-        double b = res.flows[1].throughput_bps / 1e3;
+        double a = res.flows[0].throughput.value() / 1e3;
+        double b = res.flows[1].throughput.value() / 1e3;
         double thr[] = {a, b};
         a_stats.add(a);
         b_stats.add(b);

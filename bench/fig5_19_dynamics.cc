@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       for (std::size_t fi = 0; fi < res.flows.size(); ++fi) {
         const TimeSeries& ts = res.flows[fi].throughput_series;
         if (b < ts.size()) {
-          t = ts[b].t_s;
+          t = ts[b].t.value();
           vals[fi] = ts[b].value / 1e3;
         }
       }
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       const TimeSeries& ts = res.flows[fi].throughput_series;
       int cnt = 0;
       for (const TimePoint& pt : ts) {
-        if (pt.t_s >= duration_s * 2.0 / 3.0) {
+        if (pt.t.value() >= duration_s * 2.0 / 3.0) {
           share[fi] += pt.value;
           ++cnt;
         }

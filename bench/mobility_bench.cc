@@ -17,9 +17,9 @@ double run_once(TcpVariant v, bool mobile, double max_speed,
                 std::uint64_t seed) {
   const int hops = 8;
   const double duration_s = 40.0;
-  const double spacing_m = 200.0;  // 50 m slack below decode range
+  const Meters spacing = Meters(200.0);  // 50 m slack below decode range
   Network net(seed);
-  build_chain(net, hops, spacing_m);
+  build_chain(net, hops, spacing);
   net.use_aodv();
   if (v == TcpVariant::kMuzha || v == TcpVariant::kJersey) {
     net.enable_muzha_routers();
@@ -48,8 +48,8 @@ double run_once(TcpVariant v, bool mobile, double max_speed,
       mc.max_x = 200.0 * i + 35;
       mc.min_y = -35;
       mc.max_y = 35;
-      mc.min_speed_mps = 1.0;
-      mc.max_speed_mps = max_speed;
+      mc.min_speed = MetersPerSecond(1.0);
+      mc.max_speed = MetersPerSecond(max_speed);
       mc.pause = SimTime::from_seconds(1.0);
       movers.push_back(std::make_unique<RandomWaypointMobility>(
           net.sim(), net.node(i), mc));

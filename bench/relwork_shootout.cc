@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < std::size(contenders); ++i) {
       ReplicatedStats s = replication_stats(
           results[point++],
-          [](const ExperimentResult& r) { return r.flows[0].throughput_bps; });
+          [](const ExperimentResult& r) { return r.flows[0].throughput.value(); });
       std::printf("%10.1f", s.mean() / 1e3);
     }
     std::printf("\n");

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     auto res = run_experiment(cfg);
     const FlowResult& f = res.flows[0];
     std::printf("%-12s %12.1f %8llu %8llu %8llu %10llu %10llu\n",
-                variant_name(v), f.throughput_bps / 1e3,
+                variant_name(v), f.throughput.value() / 1e3,
                 static_cast<unsigned long long>(f.packets_sent),
                 static_cast<unsigned long long>(f.retransmissions),
                 static_cast<unsigned long long>(f.timeouts),

@@ -31,8 +31,8 @@ void run_pair(muzha::TcpVariant a, muzha::TcpVariant b, int hops,
                          static_cast<std::size_t>(2 * hops), SimTime::zero(),
                          32});
     auto res = run_experiment(cfg);
-    thr[0] += res.flows[0].throughput_bps / 1e3 / seeds;
-    thr[1] += res.flows[1].throughput_bps / 1e3 / seeds;
+    thr[0] += res.flows[0].throughput.value() / 1e3 / seeds;
+    thr[1] += res.flows[1].throughput.value() / 1e3 / seeds;
   }
   std::printf("%-8s vs %-8s : %8.1f vs %8.1f kbps   (Jain index %.3f)\n",
               variant_name(a), variant_name(b), thr[0], thr[1],

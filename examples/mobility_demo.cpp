@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   }
 
   Network net(/*seed=*/4);
-  build_chain(net, 2, /*spacing_m=*/200.0);  // slack below the 250 m range
+  build_chain(net, 2, /*spacing=*/Meters(200.0));  // slack below the 250 m range
   net.use_aodv();
   if (variant == TcpVariant::kMuzha) net.enable_muzha_routers();
 
@@ -44,13 +44,13 @@ int main(int argc, char** argv) {
   // The relay wanders off perpendicular to the chain at t=10 s (links break
   // once its offset exceeds ~150 m) and returns by t=20 s.
   LinearMobility::Config mc;
-  mc.vy_mps = 50.0;
+  mc.vy = MetersPerSecond(50.0);
   LinearMobility mob(net.sim(), net.node(1), mc);
   net.sim().schedule_at(SimTime::from_seconds(10), [&] { mob.start(); });
   net.sim().schedule_at(SimTime::from_seconds(15),
-                        [&] { mob.set_velocity(0, -50.0); });
+                        [&] { mob.set_velocity(MetersPerSecond(0.0), MetersPerSecond(-50.0)); });
   net.sim().schedule_at(SimTime::from_seconds(20),
-                        [&] { mob.set_velocity(0, 0); });
+                        [&] { mob.set_velocity(MetersPerSecond(0.0), MetersPerSecond(0.0)); });
 
   net.run_until(SimTime::from_seconds(40));
 
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::printf("%6s %12s\n", "t(s)", "kbps");
   for (const TimePoint& p : sampler.series()) {
     int bars = static_cast<int>(p.value / 1e4);
-    std::printf("%6.1f %12.1f  %.*s\n", p.t_s, p.value / 1e3, bars,
+    std::printf("%6.1f %12.1f  %.*s\n", p.t.value(), p.value / 1e3, bars,
                 "########################################################");
   }
   auto& aodv0 = dynamic_cast<Aodv&>(net.node(0).routing());

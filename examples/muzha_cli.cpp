@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
               "timeouts");
   for (const FlowResult& f : res.flows) {
     std::printf("%-10s %12.1f %10llu %8llu %8llu\n", variant_name(f.variant),
-                f.throughput_bps / 1e3,
+                f.throughput.value() / 1e3,
                 static_cast<unsigned long long>(f.packets_sent),
                 static_cast<unsigned long long>(f.retransmissions),
                 static_cast<unsigned long long>(f.timeouts));

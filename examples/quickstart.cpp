@@ -23,7 +23,7 @@ int main() {
   const FlowResult& f = res.flows[0];
 
   std::printf("TCP Muzha over a 4-hop chain, 30 s\n");
-  std::printf("  goodput          : %.1f kbps\n", f.throughput_bps / 1e3);
+  std::printf("  goodput          : %.1f kbps\n", f.throughput.value() / 1e3);
   std::printf("  segments delivered: %lld\n",
               static_cast<long long>(f.delivered));
   std::printf("  packets sent     : %llu\n",

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     auto res = run_experiment(cfg);
     const FlowResult& f = res.flows[0];
     std::printf("%s:\n", variant_name(v));
-    std::printf("  goodput         : %.1f kbps\n", f.throughput_bps / 1e3);
+    std::printf("  goodput         : %.1f kbps\n", f.throughput.value() / 1e3);
     std::printf("  retransmissions : %llu\n",
                 static_cast<unsigned long long>(f.retransmissions));
     std::printf("  timeouts        : %llu\n",

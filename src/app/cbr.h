@@ -9,6 +9,7 @@
 
 #include "net/node.h"
 #include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -17,7 +18,7 @@ class CbrApp {
   struct Config {
     NodeId dst = kInvalidNodeId;
     std::uint32_t packet_size_bytes = 512;
-    double rate_bps = 100'000;
+    BitsPerSecond rate = BitsPerSecond(100'000);
     SimTime start_time;
     SimTime stop_time = SimTime::max();
   };
@@ -38,9 +39,8 @@ class CbrApp {
         node_.new_packet(cfg_.dst, IpProto::kNone, cfg_.packet_size_bytes);
     ++packets_sent_;
     node_.send(std::move(p));
-    double interval_s =
-        static_cast<double>(cfg_.packet_size_bytes) * 8.0 / cfg_.rate_bps;
-    sim_.schedule_in(SimTime::from_seconds(interval_s), [this] { tick(); });
+    Seconds interval = to_bits(Bytes(cfg_.packet_size_bytes)) / cfg_.rate;
+    sim_.schedule_in(to_sim_time(interval), [this] { tick(); });
   }
 
   Simulator& sim_;

@@ -26,8 +26,8 @@ void BandwidthEstimator::sample() {
                (1.0 - cfg_.util_ewma_alpha) * util_ewma_;
 
   double q = static_cast<double>(device_.queue().size());
-  double interval_s = cfg_.sample_interval.to_seconds();
-  double inst_gradient = (q - last_queue_size_) / interval_s;
+  SegmentsPerSecond inst_gradient =
+      Segments(q - last_queue_size_) / to_seconds(cfg_.sample_interval);
   last_queue_size_ = q;
   gradient_ewma_ = cfg_.util_ewma_alpha * inst_gradient +
                    (1.0 - cfg_.util_ewma_alpha) * gradient_ewma_;
@@ -41,9 +41,9 @@ std::uint8_t BandwidthEstimator::current_drai() {
   if (cfg_.use_queue_gradient) {
     // A growing queue caps the recommendation even before occupancy
     // thresholds trip: announce congestion while it is forming.
-    if (gradient_ewma_ >= 2.0 * cfg_.gradient_stabilize_pps) {
+    if (gradient_ewma_ >= 2.0 * cfg_.gradient_stabilize) {
       level = std::min(level, kDraiModerateDecel);
-    } else if (gradient_ewma_ >= cfg_.gradient_stabilize_pps) {
+    } else if (gradient_ewma_ >= cfg_.gradient_stabilize) {
       level = std::min(level, kDraiStabilize);
     }
   }

@@ -26,8 +26,8 @@ class BandwidthEstimator final : public DraiSource {
   bool should_mark() override;
 
   double utilization() const { return util_ewma_; }
-  // Queue growth rate, packets/second (EWMA); meaningful once started.
-  double queue_gradient_pps() const { return gradient_ewma_; }
+  // Queue growth rate (EWMA); meaningful once started.
+  SegmentsPerSecond queue_gradient() const { return gradient_ewma_; }
   const DraiConfig& config() const { return cfg_; }
 
  private:
@@ -37,7 +37,7 @@ class BandwidthEstimator final : public DraiSource {
   WirelessDevice& device_;
   DraiConfig cfg_;
   double util_ewma_ = 0.0;
-  double gradient_ewma_ = 0.0;
+  SegmentsPerSecond gradient_ewma_;
   double last_queue_size_ = 0.0;
   SimTime last_busy_total_;
   bool started_ = false;

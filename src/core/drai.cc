@@ -31,28 +31,28 @@ std::uint8_t compute_drai(double occupancy, double utilization,
                   drai_from_utilization(utilization, cfg));
 }
 
-double apply_drai_to_cwnd(std::uint8_t drai, double cwnd) {
+Segments apply_drai_to_cwnd(std::uint8_t drai, Segments cwnd) {
   MUZHA_DCHECK(drai >= kDraiAggressiveDecel && drai <= kDraiAggressiveAccel,
                "DRAI outside the 5-level quantization range of Table 5.2");
-  MUZHA_DCHECK(cwnd > 0.0, "congestion window must be positive");
+  MUZHA_DCHECK(cwnd > Segments(0.0), "congestion window must be positive");
   switch (drai) {
     case kDraiAggressiveAccel:
       cwnd = cwnd * 2.0;
       break;
     case kDraiModerateAccel:
-      cwnd = cwnd + 1.0;
+      cwnd = cwnd + Segments(1.0);
       break;
     case kDraiStabilize:
       break;
     case kDraiModerateDecel:
-      cwnd = cwnd - 1.0;
+      cwnd = cwnd - Segments(1.0);
       break;
     case kDraiAggressiveDecel:
     default:
       cwnd = cwnd * 0.5;
       break;
   }
-  return std::max(cwnd, 1.0);
+  return std::max(cwnd, Segments(1.0));
 }
 
 }  // namespace muzha

@@ -21,6 +21,7 @@
 
 #include "pkt/packet.h"
 #include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -45,7 +46,7 @@ struct DraiConfig {
   bool use_queue_gradient = false;
   // Queue growth (packets/second, EWMA) above which the DRAI is capped at
   // "stabilize"; twice this caps it at "moderate deceleration".
-  double gradient_stabilize_pps = 5.0;
+  SegmentsPerSecond gradient_stabilize = SegmentsPerSecond(5.0);
 };
 
 // Level from queue occupancy alone.
@@ -60,6 +61,6 @@ std::uint8_t compute_drai(double occupancy, double utilization,
                           const DraiConfig& cfg);
 
 // Table 5.2: window update recommended by a DRAI level.
-double apply_drai_to_cwnd(std::uint8_t drai, double cwnd);
+Segments apply_drai_to_cwnd(std::uint8_t drai, Segments cwnd);
 
 }  // namespace muzha

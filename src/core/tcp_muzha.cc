@@ -10,12 +10,12 @@ TcpMuzha::TcpMuzha(Simulator& sim, Node& node, TcpConfig cfg)
     : TcpAgent(sim, node, [&cfg] {
         // Muzha has no slow start: sessions enter CA directly with a small
         // initial window (Sec. 4.8).
-        if (cfg.initial_cwnd < 2.0) cfg.initial_cwnd = 2.0;
+        if (cfg.initial_cwnd < Segments(2.0)) cfg.initial_cwnd = Segments(2.0);
         return cfg;
       }()) {
   // ssthresh is meaningless for Muzha; park it out of the way so base-class
   // helpers never mistake CA for slow start.
-  set_ssthresh(0.0);
+  set_ssthresh(Segments(0.0));
 }
 
 void TcpMuzha::on_new_ack(const TcpHeader& h, std::int64_t) {
@@ -55,7 +55,7 @@ void TcpMuzha::on_dup_ack(const TcpHeader& h) {
   if (h.marked || !loss_discrimination_) {
     // Router-marked duplicate ACKs: congestion loss. Halve and recover.
     ++marked_loss_events_;
-    set_cwnd(std::max(cwnd() * 0.5, 1.0));
+    set_cwnd(std::max(cwnd() * 0.5, Segments(1.0)));
   } else {
     // Unmarked: random/link loss. Retransmit without slowing down
     // (Sec. 4.7) — the adjustment that spares Muzha the spurious
@@ -69,7 +69,7 @@ void TcpMuzha::on_dup_ack(const TcpHeader& h) {
 void TcpMuzha::on_timeout() {
   // Table 4.1: CWND := 1 and re-enter CA (there is no slow-start phase to
   // fall back to).
-  set_cwnd(1.0);
+  set_cwnd(Segments(1.0));
   exit_recovery_bookkeeping();
   epoch_mrai_ = kDraiAggressiveAccel;
   go_back_n();

@@ -35,13 +35,13 @@ SimTime Mac80211::frame_airtime(MacFrameType type,
                                 std::uint32_t payload_bytes) const {
   switch (type) {
     case MacFrameType::kRts:
-      return phy_.tx_duration(kMacRtsBytes, /*basic_rate=*/true);
+      return phy_.tx_duration(Bytes(kMacRtsBytes), /*basic_rate=*/true);
     case MacFrameType::kCts:
-      return phy_.tx_duration(kMacCtsBytes, true);
+      return phy_.tx_duration(Bytes(kMacCtsBytes), true);
     case MacFrameType::kAck:
-      return phy_.tx_duration(kMacAckBytes, true);
+      return phy_.tx_duration(Bytes(kMacAckBytes), true);
     case MacFrameType::kData:
-      return phy_.tx_duration(payload_bytes + kMacDataOverheadBytes,
+      return phy_.tx_duration(Bytes(payload_bytes + kMacDataOverheadBytes),
                               /*basic_rate=*/false);
   }
   return SimTime::zero();
@@ -58,7 +58,7 @@ void Mac80211::transmit(PacketPtr pkt, NodeId next_hop) {
   pending_->mac.seq = ++tx_seq_;
   pending_->mac.retry = false;
   pending_uses_rts_ = next_hop != kBroadcastId &&
-                      pending_->size_bytes >= params_.rts_threshold_bytes;
+                      Bytes(pending_->size_bytes) >= params_.rts_threshold;
   short_retries_ = 0;
   long_retries_ = 0;
   resume_contention();

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -19,7 +20,7 @@ struct MacParams {
   std::uint32_t long_retry_limit = 4;
   // Frames whose MAC payload exceeds this use RTS/CTS. 0 = always (the NS-2
   // default the paper inherited).
-  std::uint32_t rts_threshold_bytes = 0;
+  Bytes rts_threshold = Bytes(0);
   // Guard added to CTS/ACK timeouts on top of SIFS + response airtime.
   SimTime timeout_guard = SimTime::from_us(25);
 };

@@ -10,17 +10,18 @@ void Channel::transmit(const WirelessPhy& src, const Packet& pkt,
   Position sp = src.position();
   for (WirelessPhy* rx : phys_) {
     if (rx == &src) continue;
-    double dist = distance_m(sp, rx->position());
-    if (dist > params_.cs_range_m) continue;
-    bool decodable = dist <= params_.rx_range_m;
+    Meters dist = distance(sp, rx->position());
+    if (dist > params_.cs_range) continue;
+    bool decodable = dist <= params_.rx_range;
     bool pre_corrupted = false;
     PacketPtr copy;
     if (decodable) {
       copy = clone_packet(pkt);
-      pre_corrupted = error_model_->should_corrupt(pkt, dist, sim_.rng());
+      pre_corrupted =
+          error_model_->should_corrupt(pkt, dist, sim_.now(), sim_.rng());
       if (pre_corrupted) ++frames_corrupted_by_error_;
     }
-    SimTime prop = SimTime::from_seconds(dist / params_.propagation_mps);
+    SimTime prop = to_sim_time(dist / params_.propagation);
     sim_.schedule_in(prop, [rx, copy = std::move(copy), pre_corrupted,
                             duration, dist]() mutable {
       rx->signal_start(std::move(copy), pre_corrupted, duration, dist);

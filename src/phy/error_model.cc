@@ -4,21 +4,21 @@
 
 namespace muzha {
 
-bool BerErrorModel::should_corrupt(const Packet& pkt, double, Rng& rng) {
+bool BerErrorModel::should_corrupt(const Packet& pkt, Meters, SimTime,
+                                   Rng& rng) {
   double bits = static_cast<double>(pkt.size_bytes + kMacDataOverheadBytes) * 8.0;
-  double p_ok = std::pow(1.0 - ber_, bits);
+  double p_ok = std::pow(1.0 - ber_.value(), bits);
   return rng.chance(1.0 - p_ok);
 }
 
-bool GilbertElliottErrorModel::should_corrupt(const Packet&, double,
-                                              Rng& rng) {
-  double now = now_s_ ? *now_s_ : 0.0;
-  while (now >= state_until_s_) {
+bool GilbertElliottErrorModel::should_corrupt(const Packet&, Meters,
+                                              SimTime now, Rng& rng) {
+  while (now >= state_until_) {
     in_bad_ = !in_bad_;
-    double mean = in_bad_ ? cfg_.mean_bad_s : cfg_.mean_good_s;
-    state_until_s_ += rng.exponential(mean);
+    Seconds mean = in_bad_ ? cfg_.mean_bad : cfg_.mean_good;
+    state_until_ += to_sim_time(Seconds(rng.exponential(mean.value())));
   }
-  return in_bad_ && rng.chance(cfg_.bad_loss_prob);
+  return in_bad_ && rng.chance(cfg_.bad_loss_prob.value());
 }
 
 }  // namespace muzha

@@ -10,68 +10,76 @@
 
 #include "pkt/packet.h"
 #include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 
 class ErrorModel {
  public:
   virtual ~ErrorModel() = default;
-  // Returns true if this frame should arrive corrupted at a receiver
-  // `dist_m` away from the transmitter.
-  virtual bool should_corrupt(const Packet& pkt, double dist_m, Rng& rng) = 0;
+  // Returns true if this frame should arrive corrupted at a receiver `dist`
+  // away from the transmitter. `now` is the simulation clock at TX start,
+  // supplied per call so models stay scheduler-free.
+  virtual bool should_corrupt(const Packet& pkt, Meters dist, SimTime now,
+                              Rng& rng) = 0;
 };
 
 // No random corruption (default).
 class NoErrorModel final : public ErrorModel {
  public:
-  bool should_corrupt(const Packet&, double, Rng&) override { return false; }
+  bool should_corrupt(const Packet&, Meters, SimTime, Rng&) override {
+    return false;
+  }
 };
 
 // Corrupts each frame independently with a fixed probability.
 class UniformErrorModel final : public ErrorModel {
  public:
-  explicit UniformErrorModel(double per_packet_prob)
+  explicit UniformErrorModel(Probability per_packet_prob)
       : prob_(per_packet_prob) {}
-  bool should_corrupt(const Packet&, double, Rng& rng) override {
-    return rng.chance(prob_);
+  bool should_corrupt(const Packet&, Meters, SimTime, Rng& rng) override {
+    return rng.chance(prob_.value());
   }
 
  private:
-  double prob_;
+  Probability prob_;
 };
 
 // Per-bit error rate: corruption probability 1 - (1 - ber)^bits.
 class BerErrorModel final : public ErrorModel {
  public:
-  explicit BerErrorModel(double ber) : ber_(ber) {}
-  bool should_corrupt(const Packet& pkt, double, Rng& rng) override;
+  explicit BerErrorModel(Probability ber) : ber_(ber) {}
+  bool should_corrupt(const Packet& pkt, Meters, SimTime, Rng& rng) override;
 
  private:
-  double ber_;
+  Probability ber_;
 };
 
 // Two-state Gilbert-Elliott burst-loss model: GOOD <-> BAD with exponential
 // sojourn times; frames sent during BAD periods are corrupted with
 // `bad_loss_prob`. Models the paper's "errors occur in bursts".
+//
+// The clock is the `now` passed to should_corrupt (the channel supplies the
+// scheduler's SimTime), so there is no external clock pointer to dangle.
 class GilbertElliottErrorModel final : public ErrorModel {
  public:
   struct Config {
-    double mean_good_s = 1.0;
-    double mean_bad_s = 0.05;
-    double bad_loss_prob = 0.5;
+    Seconds mean_good = Seconds(1.0);
+    Seconds mean_bad = Seconds(0.05);
+    Probability bad_loss_prob = Probability(0.5);
   };
-  // `now_s` is supplied per call so the model stays scheduler-free.
   explicit GilbertElliottErrorModel(Config cfg) : cfg_(cfg) {}
 
-  bool should_corrupt(const Packet& pkt, double dist_m, Rng& rng) override;
+  bool should_corrupt(const Packet& pkt, Meters dist, SimTime now,
+                      Rng& rng) override;
 
-  void set_clock(const double* now_s) { now_s_ = now_s; }
+  bool in_bad_state() const { return in_bad_; }
 
  private:
   Config cfg_;
-  const double* now_s_ = nullptr;
   bool in_bad_ = false;
-  double state_until_s_ = 0.0;
+  SimTime state_until_;
 };
 
 }  // namespace muzha

@@ -2,33 +2,32 @@
 // IEEE 802.11 DSSS).
 #pragma once
 
-#include <cstdint>
-
 #include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 
 struct PhyParams {
   // Frames from transmitters within this range decode successfully (absent
   // collisions and random errors).
-  double rx_range_m = 250.0;
+  Meters rx_range = Meters(250.0);
   // Energy from transmitters within this range is sensed (physical carrier
   // sense) and interferes with concurrent receptions. 2.2x the rx range, the
   // classic NS-2 two-ray-ground ratio.
-  double cs_range_m = 550.0;
+  Meters cs_range = Meters(550.0);
   // Payload rate for unicast MAC data frames.
-  std::uint64_t data_rate_bps = 2'000'000;
+  BitsPerSecond data_rate = BitsPerSecond(2'000'000);
   // Basic rate for control frames (RTS/CTS/ACK) and broadcast data.
-  std::uint64_t basic_rate_bps = 1'000'000;
+  BitsPerSecond basic_rate = BitsPerSecond(1'000'000);
   // PLCP preamble + header, always sent at 1 Mbps (long preamble).
   SimTime plcp_overhead = SimTime::from_us(192);
   // Signal propagation speed.
-  double propagation_mps = 3.0e8;
+  MetersPerSecond propagation = MetersPerSecond(3.0e8);
   // Capture effect: an overlapping signal corrupts an in-progress reception
   // only if the interferer is closer than `capture_distance_ratio` times the
   // wanted transmitter's distance. With the two-ray-ground d^-4 power law,
   // 1.78 corresponds to NS-2's 10 dB capture threshold. Set to +inf to
-  // disable capture (every overlap collides).
+  // disable capture (every overlap collides). Dimensionless ratio.
   double capture_distance_ratio = 1.78;
 };
 

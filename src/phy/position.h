@@ -3,17 +3,22 @@
 
 #include <cmath>
 
+#include "sim/units.h"
+
 namespace muzha {
 
+// Coordinates are plain doubles in meters: positions are points, not
+// lengths, and the x/y components are only ever combined into a Meters
+// distance here.
 struct Position {
   double x = 0.0;
   double y = 0.0;
 };
 
-inline double distance_m(Position a, Position b) {
+inline Meters distance(Position a, Position b) {
   double dx = a.x - b.x;
   double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
+  return Meters(std::sqrt(dx * dx + dy * dy));
 }
 
 }  // namespace muzha

@@ -10,12 +10,14 @@ WirelessPhy::WirelessPhy(Simulator& sim, Channel& channel, NodeId id,
   channel_.attach(*this);
 }
 
-SimTime WirelessPhy::tx_duration(std::uint32_t total_bytes,
-                                 bool basic_rate) const {
+SimTime WirelessPhy::tx_duration(Bytes total, bool basic_rate) const {
   const PhyParams& p = channel_.params();
-  std::uint64_t rate = basic_rate ? p.basic_rate_bps : p.data_rate_bps;
+  // Rates are integral bit/s in every deployed configuration; the integer
+  // ceil-division below is exact and must stay exact.
+  std::uint64_t rate = static_cast<std::uint64_t>(
+      (basic_rate ? p.basic_rate : p.data_rate).value());
   // bits * 1e9 / rate nanoseconds, rounded up.
-  std::uint64_t bits = static_cast<std::uint64_t>(total_bytes) * 8;
+  std::uint64_t bits = static_cast<std::uint64_t>(to_bits(total).value());
   std::int64_t ns = static_cast<std::int64_t>((bits * 1'000'000'000ull + rate - 1) / rate);
   return p.plcp_overhead + SimTime::from_ns(ns);
 }
@@ -43,7 +45,7 @@ void WirelessPhy::start_tx(PacketPtr pkt, bool basic_rate) {
       overhead = kMacAckBytes;
       break;
   }
-  SimTime dur = tx_duration(pkt->size_bytes + overhead, basic_rate);
+  SimTime dur = tx_duration(Bytes(pkt->size_bytes + overhead), basic_rate);
   tx_active_ = true;
   ++frames_sent_;
   update_carrier(was_busy);
@@ -60,7 +62,7 @@ void WirelessPhy::start_tx(PacketPtr pkt, bool basic_rate) {
 }
 
 void WirelessPhy::signal_start(PacketPtr pkt, bool pre_corrupted,
-                               SimTime duration, double tx_dist_m) {
+                               SimTime duration, Meters tx_dist) {
   bool was_busy = carrier_busy();
   std::uint64_t seq = next_signal_seq_++;
   double ratio = channel_.params().capture_distance_ratio;
@@ -71,7 +73,7 @@ void WirelessPhy::signal_start(PacketPtr pkt, bool pre_corrupted,
   bool can_lock = !tx_active_ && decoding_seq_ == 0 && pkt != nullptr;
   if (can_lock) {
     for (const auto& [s, dist] : active_signals_) {
-      if (dist < tx_dist_m * ratio) {
+      if (dist < tx_dist * ratio) {
         can_lock = false;
         break;
       }
@@ -81,16 +83,16 @@ void WirelessPhy::signal_start(PacketPtr pkt, bool pre_corrupted,
     decoding_seq_ = seq;
     decoding_pkt_ = std::move(pkt);
     decoding_corrupted_ = pre_corrupted;
-    decoding_dist_m_ = tx_dist_m;
+    decoding_dist_ = tx_dist;
   } else if (decoding_seq_ != 0 && !decoding_corrupted_) {
     // Capture effect: a sufficiently distant (weak) interferer does not
     // destroy the frame being decoded.
-    if (tx_dist_m < decoding_dist_m_ * ratio) {
+    if (tx_dist < decoding_dist_ * ratio) {
       decoding_corrupted_ = true;
       ++collisions_;
     }
   }
-  active_signals_.emplace(seq, tx_dist_m);
+  active_signals_.emplace(seq, tx_dist);
   ++sensed_signals_;
   update_carrier(was_busy);
   sim_.schedule_in(duration, [this, seq] { signal_end(seq); });

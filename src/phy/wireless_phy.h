@@ -17,6 +17,7 @@
 #include "pkt/packet.h"
 #include "sim/inline_callback.h"
 #include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -49,20 +50,20 @@ class WirelessPhy {
   bool carrier_busy() const { return tx_active_ || sensed_signals_ > 0; }
   bool transmitting() const { return tx_active_; }
 
-  // On-air time of a frame of `total_bytes` (MAC overhead included by the
+  // On-air time of a frame of `total` bytes (MAC overhead included by the
   // caller) at the data or basic rate.
-  SimTime tx_duration(std::uint32_t total_bytes, bool basic_rate) const;
+  SimTime tx_duration(Bytes total, bool basic_rate) const;
 
   // Starts transmitting; MAC must not call this while carrier_busy() except
   // for the SIFS responses the standard allows. on_tx_done fires at TX end.
   void start_tx(PacketPtr pkt, bool basic_rate);
 
   // --- Channel-facing interface -------------------------------------------
-  // A signal begins arriving from a transmitter `tx_dist_m` away. `pkt` is
+  // A signal begins arriving from a transmitter `tx_dist` away. `pkt` is
   // non-null iff the receiver is within decode range; `pre_corrupted` marks
   // random channel errors.
   void signal_start(PacketPtr pkt, bool pre_corrupted, SimTime duration,
-                    double tx_dist_m);
+                    Meters tx_dist);
 
   // Statistics.
   std::uint64_t frames_sent() const { return frames_sent_; }
@@ -87,14 +88,14 @@ class WirelessPhy {
   // Distances of all currently arriving signals, keyed by signal sequence.
   // Ordered map: signal_start() iterates this to decide frame capture, so
   // the walk must not depend on hash-bucket layout.
-  std::map<std::uint64_t, double> active_signals_;
+  std::map<std::uint64_t, Meters> active_signals_;
 
   // In-progress decode.
   std::uint64_t next_signal_seq_ = 1;
   std::uint64_t decoding_seq_ = 0;  // 0 = not decoding
   PacketPtr decoding_pkt_;
   bool decoding_corrupted_ = false;
-  double decoding_dist_m_ = 0.0;
+  Meters decoding_dist_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ok_ = 0;

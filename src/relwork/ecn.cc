@@ -41,7 +41,7 @@ void TcpNewRenoEcn::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
     // RFC 3168: react to marks as to loss, at most once per RTT, but
     // without retransmitting anything.
     ++ecn_reductions_;
-    set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+    set_ssthresh(std::max(cwnd() / 2.0, Segments(2.0)));
     set_cwnd(ssthresh());
     double rtt = rto_estimator().has_sample()
                      ? rto_estimator().srtt().to_seconds()

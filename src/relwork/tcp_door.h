@@ -44,8 +44,8 @@ class TcpDoor : public TcpNewReno {
 
   // Snapshot of the window state before the most recent decrease.
   bool have_snapshot_ = false;
-  double snap_cwnd_ = 0;
-  double snap_ssthresh_ = 0;
+  Segments snap_cwnd_;
+  Segments snap_ssthresh_;
   SimTime snap_time_;
 
   std::uint64_t ooo_events_ = 0;

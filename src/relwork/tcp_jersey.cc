@@ -7,9 +7,11 @@ namespace muzha {
 TcpJersey::TcpJersey(Simulator& sim, Node& node, TcpConfig cfg)
     : TcpNewReno(sim, node, cfg) {}
 
-double TcpJersey::abe_window() const {
-  if (re_pps_ <= 0.0 || min_rtt_s_ <= 0.0) return 2.0;
-  return std::max(2.0, re_pps_ * min_rtt_s_);
+Segments TcpJersey::abe_window() const {
+  if (re_ <= SegmentsPerSecond(0.0) || min_rtt_ <= Seconds(0.0)) {
+    return Segments(2.0);
+  }
+  return std::max(Segments(2.0), re_ * min_rtt_);
 }
 
 void TcpJersey::update_rate_estimate(std::int64_t newly_acked) {
@@ -19,9 +21,10 @@ void TcpJersey::update_rate_estimate(std::int64_t newly_acked) {
                    : 0.1;
   if (last_ack_time_ > SimTime::zero()) {
     double dt = (now - last_ack_time_).to_seconds();
-    re_pps_ = (rtt * re_pps_ + static_cast<double>(newly_acked)) / (dt + rtt);
+    re_ = SegmentsPerSecond(
+        (rtt * re_.value() + static_cast<double>(newly_acked)) / (dt + rtt));
   } else {
-    re_pps_ = static_cast<double>(newly_acked) / rtt;
+    re_ = SegmentsPerSecond(static_cast<double>(newly_acked) / rtt);
   }
   last_ack_time_ = now;
 }
@@ -29,13 +32,13 @@ void TcpJersey::update_rate_estimate(std::int64_t newly_acked) {
 void TcpJersey::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
   update_rate_estimate(newly_acked);
   if (h.ts_echo > SimTime::zero() && !seq_was_retransmitted(h.seqno)) {
-    double rtt = (sim().now() - h.ts_echo).to_seconds();
-    if (min_rtt_s_ == 0.0 || rtt < min_rtt_s_) min_rtt_s_ = rtt;
+    Seconds rtt = to_seconds(sim().now() - h.ts_echo);
+    if (min_rtt_ == Seconds(0.0) || rtt < min_rtt_) min_rtt_ = rtt;
   }
   if (h.ce_echo && !in_recovery() && sim().now() >= next_clamp_allowed_) {
     // Congestion warning from a router: proactively fall back to the ABE
     // window, at most once per RTT.
-    double ownd = abe_window();
+    Segments ownd = abe_window();
     if (ownd < cwnd()) {
       ++cw_clamps_;
       set_ssthresh(ownd);
@@ -54,7 +57,7 @@ void TcpJersey::on_dup_ack(const TcpHeader& h) {
   if (!in_recovery() && dupacks() == config().dupack_threshold) {
     // Rate-based fast recovery: window jumps to the ABE estimate instead of
     // blindly halving.
-    double ownd = abe_window();
+    Segments ownd = abe_window();
     set_ssthresh(ownd);
     enter_recovery_bookkeeping();
     set_cwnd(ownd);
@@ -66,7 +69,7 @@ void TcpJersey::on_dup_ack(const TcpHeader& h) {
 
 void TcpJersey::on_timeout() {
   set_ssthresh(abe_window());
-  set_cwnd(1.0);
+  set_cwnd(Segments(1.0));
   exit_recovery_bookkeeping();
   go_back_n();
 }

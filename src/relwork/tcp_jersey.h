@@ -28,8 +28,8 @@ class TcpJersey : public TcpNewReno {
  public:
   TcpJersey(Simulator& sim, Node& node, TcpConfig cfg);
 
-  double rate_estimate_pps() const { return re_pps_; }
-  double abe_window() const;
+  SegmentsPerSecond rate_estimate() const { return re_; }
+  Segments abe_window() const;
   std::uint64_t cw_clamps() const { return cw_clamps_; }
 
  protected:
@@ -40,9 +40,9 @@ class TcpJersey : public TcpNewReno {
  private:
   void update_rate_estimate(std::int64_t newly_acked);
 
-  double re_pps_ = 0.0;       // rate estimate in segments/second
+  SegmentsPerSecond re_;  // ABE rate estimate
   SimTime last_ack_time_;
-  double min_rtt_s_ = 0.0;
+  Seconds min_rtt_;  // zero = no sample yet
   SimTime next_clamp_allowed_;
   std::uint64_t cw_clamps_ = 0;
 };

@@ -7,17 +7,24 @@ TcpRoVegas::TcpRoVegas(Simulator& sim, Node& node, TcpConfig cfg,
     : TcpVegas(sim, node, cfg, vcfg) {}
 
 void TcpRoVegas::note_ack(const TcpHeader& h) {
-  double q = h.qdelay_echo.to_seconds();
-  if (epoch_qdelay_s_ < 0.0 || q < epoch_qdelay_s_) epoch_qdelay_s_ = q;
+  Seconds q = to_seconds(h.qdelay_echo);
+  if (!have_epoch_qdelay_ || q < epoch_qdelay_) {
+    have_epoch_qdelay_ = true;
+    epoch_qdelay_ = q;
+  }
 }
 
 double TcpRoVegas::compute_diff() const {
-  if (epoch_qdelay_s_ < 0.0) return TcpVegas::compute_diff();
-  double base = base_rtt();
-  if (base <= 0.0) return 0.0;
-  return cwnd() * epoch_qdelay_s_ / (base + epoch_qdelay_s_);
+  if (!have_epoch_qdelay_) return TcpVegas::compute_diff();
+  Seconds base = base_rtt();
+  if (base <= Seconds(0.0)) return 0.0;
+  return cwnd().value() * epoch_qdelay_.value() /
+         (base.value() + epoch_qdelay_.value());
 }
 
-void TcpRoVegas::on_epoch_reset() { epoch_qdelay_s_ = -1.0; }
+void TcpRoVegas::on_epoch_reset() {
+  have_epoch_qdelay_ = false;
+  epoch_qdelay_ = Seconds(0.0);
+}
 
 }  // namespace muzha

@@ -22,7 +22,7 @@ class TcpRoVegas : public TcpVegas {
   TcpRoVegas(Simulator& sim, Node& node, TcpConfig cfg,
              VegasConfig vcfg = {});
 
-  double epoch_forward_qdelay_s() const { return epoch_qdelay_s_; }
+  Seconds epoch_forward_qdelay() const { return epoch_qdelay_; }
 
  protected:
   void note_ack(const TcpHeader& h) override;
@@ -30,7 +30,10 @@ class TcpRoVegas : public TcpVegas {
   void on_epoch_reset() override;
 
  private:
-  double epoch_qdelay_s_ = -1.0;  // min forward queueing delay this epoch
+  // Min forward queueing delay this epoch; valid only when the flag is set
+  // (a sentinel negative duration would be a unit-system abuse).
+  bool have_epoch_qdelay_ = false;
+  Seconds epoch_qdelay_;
 };
 
 }  // namespace muzha

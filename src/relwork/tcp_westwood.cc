@@ -8,20 +8,23 @@ TcpWestwood::TcpWestwood(Simulator& sim, Node& node, TcpConfig cfg,
                          double filter_alpha)
     : TcpNewReno(sim, node, cfg), filter_alpha_(filter_alpha) {}
 
-double TcpWestwood::eligible_window() const {
-  if (bwe_pps_ <= 0.0 || min_rtt_s_ <= 0.0) return 2.0;
-  return std::max(2.0, bwe_pps_ * min_rtt_s_);
+Segments TcpWestwood::eligible_window() const {
+  if (bwe_ <= SegmentsPerSecond(0.0) || min_rtt_ <= Seconds(0.0)) {
+    return Segments(2.0);
+  }
+  return std::max(Segments(2.0), bwe_ * min_rtt_);
 }
 
 void TcpWestwood::update_bwe(std::int64_t newly_acked) {
   SimTime now = sim().now();
   if (last_ack_time_ > SimTime::zero()) {
-    double dt = (now - last_ack_time_).to_seconds();
-    if (dt > 0) {
-      double sample = static_cast<double>(newly_acked) / dt;
-      bwe_pps_ = filter_alpha_ * bwe_pps_ +
-                 (1.0 - filter_alpha_) * 0.5 * (sample + prev_sample_pps_);
-      prev_sample_pps_ = sample;
+    Seconds dt = to_seconds(now - last_ack_time_);
+    if (dt > Seconds(0.0)) {
+      SegmentsPerSecond sample =
+          Segments(static_cast<double>(newly_acked)) / dt;
+      bwe_ = filter_alpha_ * bwe_ +
+             (1.0 - filter_alpha_) * 0.5 * (sample + prev_sample_);
+      prev_sample_ = sample;
     }
   }
   last_ack_time_ = now;
@@ -30,8 +33,8 @@ void TcpWestwood::update_bwe(std::int64_t newly_acked) {
 void TcpWestwood::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
   update_bwe(newly_acked);
   if (h.ts_echo > SimTime::zero() && !seq_was_retransmitted(h.seqno)) {
-    double rtt = (sim().now() - h.ts_echo).to_seconds();
-    if (min_rtt_s_ == 0.0 || rtt < min_rtt_s_) min_rtt_s_ = rtt;
+    Seconds rtt = to_seconds(sim().now() - h.ts_echo);
+    if (min_rtt_ == Seconds(0.0) || rtt < min_rtt_) min_rtt_ = rtt;
   }
   TcpNewReno::on_new_ack(h, newly_acked);
 }
@@ -39,7 +42,7 @@ void TcpWestwood::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
 void TcpWestwood::on_dup_ack(const TcpHeader& h) {
   if (!in_recovery() && dupacks() == config().dupack_threshold) {
     // Faster recovery: set the window from the measured rate, not half.
-    double eligible = eligible_window();
+    Segments eligible = eligible_window();
     set_ssthresh(eligible);
     enter_recovery_bookkeeping();
     set_cwnd(std::min(cwnd(), eligible));
@@ -51,7 +54,7 @@ void TcpWestwood::on_dup_ack(const TcpHeader& h) {
 
 void TcpWestwood::on_timeout() {
   set_ssthresh(eligible_window());
-  set_cwnd(1.0);
+  set_cwnd(Segments(1.0));
   exit_recovery_bookkeeping();
   go_back_n();
 }

@@ -20,8 +20,8 @@ class TcpWestwood : public TcpNewReno {
   TcpWestwood(Simulator& sim, Node& node, TcpConfig cfg,
               double filter_alpha = 0.9);
 
-  double bandwidth_estimate_pps() const { return bwe_pps_; }
-  double eligible_window() const;
+  SegmentsPerSecond bandwidth_estimate() const { return bwe_; }
+  Segments eligible_window() const;
 
  protected:
   void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
@@ -32,10 +32,10 @@ class TcpWestwood : public TcpNewReno {
   void update_bwe(std::int64_t newly_acked);
 
   double filter_alpha_;
-  double bwe_pps_ = 0.0;
-  double prev_sample_pps_ = 0.0;
+  SegmentsPerSecond bwe_;
+  SegmentsPerSecond prev_sample_;
   SimTime last_ack_time_;
-  double min_rtt_s_ = 0.0;
+  Seconds min_rtt_;  // zero = no sample yet
 };
 
 }  // namespace muzha

@@ -74,16 +74,16 @@ std::unique_ptr<TcpAgent> make_tcp_agent(TcpVariant v, Simulator& sim,
   return nullptr;
 }
 
-double ExperimentResult::total_throughput_bps() const {
-  double t = 0.0;
-  for (const FlowResult& f : flows) t += f.throughput_bps;
+BitsPerSecond ExperimentResult::total_throughput() const {
+  BitsPerSecond t = BitsPerSecond(0.0);
+  for (const FlowResult& f : flows) t += f.throughput;
   return t;
 }
 
 std::vector<double> ExperimentResult::flow_throughputs() const {
   std::vector<double> out;
   out.reserve(flows.size());
-  for (const FlowResult& f : flows) out.push_back(f.throughput_bps);
+  for (const FlowResult& f : flows) out.push_back(f.throughput.value());
   return out;
 }
 
@@ -93,13 +93,13 @@ namespace {
 // 250 m connectivity graph.
 void install_static_routes(Network& net) {
   const std::size_t n = net.size();
-  double rx_range = net.channel().params().rx_range_m;
+  Meters rx_range = net.channel().params().rx_range;
   // Adjacency from positions.
   std::vector<std::vector<std::size_t>> adj(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      double d = distance_m(net.node(i).device().phy().position(),
-                            net.node(j).device().phy().position());
+      Meters d = distance(net.node(i).device().phy().position(),
+                          net.node(j).device().phy().position());
       if (d <= rx_range) {
         adj[i].push_back(j);
         adj[j].push_back(i);
@@ -174,8 +174,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   // Random loss.
   if (cfg.uniform_error_rate > 0.0) {
-    net.set_error_model(
-        std::make_unique<UniformErrorModel>(cfg.uniform_error_rate));
+    net.set_error_model(std::make_unique<UniformErrorModel>(
+        Probability(cfg.uniform_error_rate)));
   }
 
   // Flows.
@@ -198,7 +198,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     tc.src_port = static_cast<std::uint16_t>(1000 + i);
     tc.dst_port = static_cast<std::uint16_t>(2000 + i);
     tc.flow = static_cast<FlowId>(i);
-    tc.packet_size_bytes = kSegmentBytes;
+    tc.packet_size = Bytes(kSegmentBytes);
     tc.window = f.window;
     inst.agent = make_tcp_agent(f.variant, net.sim(), net.node(f.src), tc);
     if (auto* m = dynamic_cast<TcpMuzha*>(inst.agent.get())) {
@@ -236,12 +236,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     FlowResult r;
     r.variant = f.variant;
     r.delivered = inst.sink->delivered();
-    r.duration_s = (cfg.duration - f.start_time).to_seconds();
-    r.throughput_bps =
-        r.duration_s > 0.0
-            ? static_cast<double>(r.delivered) * kPayloadBytes * 8.0 /
-                  r.duration_s
-            : 0.0;
+    r.duration = Seconds((cfg.duration - f.start_time).to_seconds());
+    r.throughput =
+        r.duration > Seconds(0.0)
+            ? Bits(static_cast<std::int64_t>(r.delivered) * kPayloadBytes * 8) /
+                  r.duration
+            : BitsPerSecond(0.0);
     r.packets_sent = inst.agent->packets_sent();
     r.retransmissions = inst.agent->retransmissions();
     r.timeouts = inst.agent->timeouts();

@@ -82,9 +82,10 @@ struct ExperimentConfig {
 
 struct FlowResult {
   TcpVariant variant;
-  std::int64_t delivered = 0;  // in-order segments at the sink
-  double duration_s = 0.0;     // flow start -> experiment end
-  double throughput_bps = 0.0; // goodput: delivered payload bits / duration
+  std::int64_t delivered = 0;          // in-order segments at the sink
+  Seconds duration = Seconds(0.0);     // flow start -> experiment end
+  BitsPerSecond throughput =
+      BitsPerSecond(0.0);              // goodput: delivered bits / duration
   std::uint64_t packets_sent = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t timeouts = 0;
@@ -103,7 +104,8 @@ struct ExperimentResult {
   std::uint64_t phy_collisions = 0;
   std::uint64_t channel_error_losses = 0;
 
-  double total_throughput_bps() const;
+  BitsPerSecond total_throughput() const;
+  // Per-flow goodput in bit/s (convenience for stats helpers).
   std::vector<double> flow_throughputs() const;
 };
 

@@ -13,7 +13,8 @@ void RandomWaypointMobility::pick_waypoint() {
   Rng& rng = sim_.rng();
   waypoint_.x = rng.uniform(cfg_.min_x, cfg_.max_x);
   waypoint_.y = rng.uniform(cfg_.min_y, cfg_.max_y);
-  speed_mps_ = rng.uniform(cfg_.min_speed_mps, cfg_.max_speed_mps);
+  speed_ = MetersPerSecond(
+      rng.uniform(cfg_.min_speed.value(), cfg_.max_speed.value()));
   paused_ = false;
 }
 
@@ -27,7 +28,7 @@ void RandomWaypointMobility::tick() {
   double dx = waypoint_.x - p.x;
   double dy = waypoint_.y - p.y;
   double dist = std::sqrt(dx * dx + dy * dy);
-  double step = speed_mps_ * cfg_.tick.to_seconds();
+  double step = speed_.value() * cfg_.tick.to_seconds();
   if (dist <= step) {
     // Arrived: pause, then choose the next waypoint.
     node_.device().phy().set_position(waypoint_);

@@ -19,6 +19,7 @@
 
 #include "net/node.h"
 #include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -33,8 +34,8 @@ class MobilityModel {
 class LinearMobility final : public MobilityModel {
  public:
   struct Config {
-    double vx_mps = 0.0;
-    double vy_mps = 0.0;
+    MetersPerSecond vx;
+    MetersPerSecond vy;
     SimTime tick = SimTime::from_ms(100);
     SimTime stop_after = SimTime::max();
   };
@@ -44,9 +45,9 @@ class LinearMobility final : public MobilityModel {
 
   void start() override { schedule(); }
 
-  void set_velocity(double vx, double vy) {
-    cfg_.vx_mps = vx;
-    cfg_.vy_mps = vy;
+  void set_velocity(MetersPerSecond vx, MetersPerSecond vy) {
+    cfg_.vx = vx;
+    cfg_.vy = vy;
   }
 
  private:
@@ -57,8 +58,8 @@ class LinearMobility final : public MobilityModel {
     if (sim_.now() >= cfg_.stop_after) return;
     Position p = node_.device().phy().position();
     double dt = cfg_.tick.to_seconds();
-    p.x += cfg_.vx_mps * dt;
-    p.y += cfg_.vy_mps * dt;
+    p.x += cfg_.vx.value() * dt;
+    p.y += cfg_.vy.value() * dt;
     node_.device().phy().set_position(p);
     schedule();
   }
@@ -74,8 +75,8 @@ class RandomWaypointMobility final : public MobilityModel {
   struct Config {
     double min_x = 0.0, max_x = 1000.0;
     double min_y = 0.0, max_y = 1000.0;
-    double min_speed_mps = 1.0;
-    double max_speed_mps = 10.0;
+    MetersPerSecond min_speed = MetersPerSecond(1.0);
+    MetersPerSecond max_speed = MetersPerSecond(10.0);
     SimTime pause = SimTime::from_seconds(2.0);
     SimTime tick = SimTime::from_ms(100);
   };
@@ -86,7 +87,7 @@ class RandomWaypointMobility final : public MobilityModel {
   void start() override;
 
   Position waypoint() const { return waypoint_; }
-  double speed_mps() const { return speed_mps_; }
+  MetersPerSecond speed() const { return speed_; }
 
  private:
   void pick_waypoint();
@@ -96,7 +97,7 @@ class RandomWaypointMobility final : public MobilityModel {
   Node& node_;
   Config cfg_;
   Position waypoint_;
-  double speed_mps_ = 0.0;
+  MetersPerSecond speed_;
   bool paused_ = false;
   SimTime pause_until_;
 };

@@ -60,23 +60,23 @@ BandwidthEstimator* Network::estimator(std::size_t i) {
   return dynamic_cast<BandwidthEstimator*>(drai_sources_[i].get());
 }
 
-std::vector<NodeId> build_chain(Network& net, int hops, double spacing_m) {
+std::vector<NodeId> build_chain(Network& net, int hops, Meters spacing) {
   MUZHA_ASSERT(hops >= 1, "chain needs at least one hop");
   std::vector<NodeId> ids;
   ids.reserve(static_cast<std::size_t>(hops) + 1);
   for (int i = 0; i <= hops; ++i) {
-    ids.push_back(net.add_node({spacing_m * i, 0.0}).id());
+    ids.push_back(net.add_node({spacing.value() * i, 0.0}).id());
   }
   return ids;
 }
 
-CrossTopology build_cross(Network& net, int hops, double spacing_m) {
+CrossTopology build_cross(Network& net, int hops, Meters spacing) {
   MUZHA_ASSERT(hops >= 2 && hops % 2 == 0, "cross needs an even hop count");
   CrossTopology topo;
   int half = hops / 2;
   // Horizontal arm: y = 0, x in [-half .. +half] * spacing.
   for (int i = -half; i <= half; ++i) {
-    topo.horizontal.push_back(net.add_node({spacing_m * i, 0.0}).id());
+    topo.horizontal.push_back(net.add_node({spacing.value() * i, 0.0}).id());
   }
   NodeId center = topo.horizontal[static_cast<std::size_t>(half)];
   // Vertical arm shares the centre node.
@@ -84,40 +84,41 @@ CrossTopology build_cross(Network& net, int hops, double spacing_m) {
     if (i == 0) {
       topo.vertical.push_back(center);
     } else {
-      topo.vertical.push_back(net.add_node({0.0, spacing_m * i}).id());
+      topo.vertical.push_back(net.add_node({0.0, spacing.value() * i}).id());
     }
   }
   return topo;
 }
 
 std::vector<NodeId> build_grid(Network& net, int rows, int cols,
-                               double spacing_m) {
+                               Meters spacing) {
   MUZHA_ASSERT(rows >= 1 && cols >= 1, "grid needs positive dimensions");
   std::vector<NodeId> ids;
   ids.reserve(static_cast<std::size_t>(rows) * cols);
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
-      ids.push_back(net.add_node({spacing_m * c, spacing_m * r}).id());
+      ids.push_back(
+          net.add_node({spacing.value() * c, spacing.value() * r}).id());
     }
   }
   return ids;
 }
 
-ParallelChains build_parallel_chains(Network& net, int hops, double spacing_m,
-                                     double gap_m) {
+ParallelChains build_parallel_chains(Network& net, int hops, Meters spacing,
+                                     Meters gap) {
   ParallelChains out;
   for (int i = 0; i <= hops; ++i) {
-    out.top.push_back(net.add_node({spacing_m * i, 0.0}).id());
+    out.top.push_back(net.add_node({spacing.value() * i, 0.0}).id());
   }
   for (int i = 0; i <= hops; ++i) {
-    out.bottom.push_back(net.add_node({spacing_m * i, gap_m}).id());
+    out.bottom.push_back(net.add_node({spacing.value() * i, gap.value()}).id());
   }
   return out;
 }
 
 namespace {
 bool is_connected(Network& net, std::size_t first, std::size_t count,
-                  double range_m) {
+                  Meters range) {
   std::vector<bool> seen(count, false);
   std::vector<std::size_t> stack{0};
   seen[0] = true;
@@ -129,7 +130,7 @@ bool is_connected(Network& net, std::size_t first, std::size_t count,
     for (std::size_t v = 0; v < count; ++v) {
       if (seen[v]) continue;
       Position pv = net.node(first + v).device().phy().position();
-      if (distance_m(pu, pv) <= range_m) {
+      if (distance(pu, pv) <= range) {
         seen[v] = true;
         ++reached;
         stack.push_back(v);
@@ -140,9 +141,8 @@ bool is_connected(Network& net, std::size_t first, std::size_t count,
 }
 }  // namespace
 
-std::vector<NodeId> build_random_connected(Network& net, int n,
-                                           double width_m, double height_m,
-                                           int max_attempts) {
+std::vector<NodeId> build_random_connected(Network& net, int n, Meters width,
+                                           Meters height, int max_attempts) {
   MUZHA_ASSERT(n >= 1, "need at least one node");
   std::size_t first = net.size();
   std::vector<NodeId> ids;
@@ -150,12 +150,12 @@ std::vector<NodeId> build_random_connected(Network& net, int n,
   for (int i = 0; i < n; ++i) {
     ids.push_back(net.add_node({0, 0}).id());
   }
-  double range = net.channel().params().rx_range_m;
+  Meters range = net.channel().params().rx_range;
   Rng& rng = net.sim().rng();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     for (int i = 0; i < n; ++i) {
       net.node(first + i).device().phy().set_position(
-          {rng.uniform(0, width_m), rng.uniform(0, height_m)});
+          {rng.uniform(0, width.value()), rng.uniform(0, height.value())});
     }
     if (is_connected(net, first, static_cast<std::size_t>(n), range)) {
       return ids;

@@ -57,10 +57,10 @@ class Network {
   std::vector<std::unique_ptr<DraiSource>> drai_sources_;
 };
 
-// Chain topology (Fig 5.1): hops+1 nodes on a line, neighbours `spacing_m`
+// Chain topology (Fig 5.1): hops+1 nodes on a line, neighbours `spacing`
 // apart (250 m: exactly one-hop connectivity).
 std::vector<NodeId> build_chain(Network& net, int hops,
-                                double spacing_m = 250.0);
+                                Meters spacing = Meters(250.0));
 
 // Cross topology (Fig 5.15): a horizontal and a vertical chain of `hops`
 // hops sharing the centre node (4-hop cross = 9 nodes). Returns
@@ -70,29 +70,30 @@ struct CrossTopology {
   std::vector<NodeId> horizontal;
   std::vector<NodeId> vertical;
 };
-CrossTopology build_cross(Network& net, int hops, double spacing_m = 250.0);
+CrossTopology build_cross(Network& net, int hops,
+                          Meters spacing = Meters(250.0));
 
-// Rectangular grid: rows x cols nodes, `spacing_m` apart. Returns ids in
+// Rectangular grid: rows x cols nodes, `spacing` apart. Returns ids in
 // row-major order. Gives multihop scenarios with route diversity (unlike the
 // chain, a broken link is routable-around).
 std::vector<NodeId> build_grid(Network& net, int rows, int cols,
-                               double spacing_m = 200.0);
+                               Meters spacing = Meters(200.0));
 
-// Two parallel chains of `hops` hops, `gap_m` apart vertically — close
+// Two parallel chains of `hops` hops, `gap` apart vertically — close
 // enough to interfere, far enough not to forward for each other when
-// `gap_m` > decode range. Returns {top chain ids, bottom chain ids}.
+// `gap` > decode range. Returns {top chain ids, bottom chain ids}.
 struct ParallelChains {
   std::vector<NodeId> top;
   std::vector<NodeId> bottom;
 };
 ParallelChains build_parallel_chains(Network& net, int hops,
-                                     double spacing_m = 250.0,
-                                     double gap_m = 300.0);
+                                     Meters spacing = Meters(250.0),
+                                     Meters gap = Meters(300.0));
 
 // Uniform random placement in a rectangle, rejected and resampled until the
 // connectivity graph (decode-range links) is connected. Returns node ids.
-std::vector<NodeId> build_random_connected(Network& net, int n,
-                                           double width_m, double height_m,
+std::vector<NodeId> build_random_connected(Network& net, int n, Meters width,
+                                           Meters height,
                                            int max_attempts = 100);
 
 }  // namespace muzha

@@ -11,7 +11,7 @@ namespace {
 double value_at(const TimeSeries& s, double t) {
   double v = 0.0;
   for (const TimePoint& p : s) {
-    if (p.t_s > t) break;
+    if (p.t.value() > t) break;
     v = p.value;
   }
   return v;
@@ -29,7 +29,7 @@ bool write_csv(const std::string& path,
 
   std::set<double> times;
   for (const NamedSeries& ns : data) {
-    for (const TimePoint& p : ns.series) times.insert(p.t_s);
+    for (const TimePoint& p : ns.series) times.insert(p.t.value());
   }
   for (double t : times) {
     std::fprintf(f, "%.6f", t);

@@ -2,17 +2,17 @@
 
 namespace muzha {
 
-double CwndTracer::value_at(double t_s) const {
+double CwndTracer::value_at(Seconds t) const {
   double v = 0.0;
   for (const TimePoint& p : series_) {
-    if (p.t_s > t_s) break;
+    if (p.t > t) break;
     v = p.value;
   }
   return v;
 }
 
-void ThroughputSampler::record(double t_s, double bits) {
-  auto idx = static_cast<std::size_t>(t_s / bin_width_s_);
+void ThroughputSampler::record(Seconds t, double bits) {
+  auto idx = static_cast<std::size_t>(t / bin_width_);
   if (bins_.size() <= idx) bins_.resize(idx + 1, 0.0);
   bins_[idx] += bits;
   total_bits_ += bits;
@@ -22,8 +22,8 @@ TimeSeries ThroughputSampler::series() const {
   TimeSeries out;
   out.reserve(bins_.size());
   for (std::size_t i = 0; i < bins_.size(); ++i) {
-    out.push_back({(static_cast<double>(i) + 0.5) * bin_width_s_,
-                   bins_[i] / bin_width_s_});
+    out.push_back({Seconds((static_cast<double>(i) + 0.5) * bin_width_.value()),
+                   bins_[i] / bin_width_.value()});
   }
   return out;
 }

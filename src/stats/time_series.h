@@ -10,14 +10,15 @@
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "sim/units.h"
 #include "tcp/tcp_agent.h"
 #include "tcp/tcp_sink.h"
 
 namespace muzha {
 
 struct TimePoint {
-  double t_s = 0.0;
-  double value = 0.0;
+  Seconds t;
+  double value = 0.0;  // unit depends on the series (segments, bit/s, ...)
 };
 
 using TimeSeries = std::vector<TimePoint>;
@@ -27,17 +28,17 @@ class CwndTracer {
  public:
   void attach(TcpAgent& agent) {
     agent.set_cwnd_listener([this](SimTime t, double cwnd) {
-      series_.push_back({t.to_seconds(), cwnd});
+      series_.push_back({to_seconds(t), cwnd});
     });
   }
 
   const TimeSeries& series() const { return series_; }
 
   // Appends a sample directly (normally driven via attach()).
-  void add(double t_s, double value) { series_.push_back({t_s, value}); }
+  void add(Seconds t, double value) { series_.push_back({t, value}); }
 
   // Value at time t (step interpolation); 0 before the first sample.
-  double value_at(double t_s) const;
+  double value_at(Seconds t) const;
 
  private:
   TimeSeries series_;
@@ -49,12 +50,12 @@ class ThroughputSampler {
  public:
   explicit ThroughputSampler(SimTime bin_width = SimTime::from_ms(500),
                              std::uint32_t payload_bytes = 1460)
-      : bin_width_s_(bin_width.to_seconds()), payload_bytes_(payload_bytes) {}
+      : bin_width_(to_seconds(bin_width)), payload_bytes_(payload_bytes) {}
 
   void attach(TcpSink& sink) {
     sink.set_delivery_listener(
         [this](SimTime t, std::int64_t count, std::uint32_t) {
-          record(t.to_seconds(),
+          record(to_seconds(t),
                  static_cast<double>(count) * payload_bytes_ * 8.0);
         });
   }
@@ -64,12 +65,12 @@ class ThroughputSampler {
 
   double total_bits() const { return total_bits_; }
 
-  // Accumulates `bits` into the bin containing `t_s` (normally driven via
+  // Accumulates `bits` into the bin containing `t` (normally driven via
   // attach()).
-  void record(double t_s, double bits);
+  void record(Seconds t, double bits);
 
  private:
-  double bin_width_s_;
+  Seconds bin_width_;
   std::uint32_t payload_bytes_;
   std::vector<double> bins_;  // bits per bin
   double total_bits_ = 0.0;

@@ -25,22 +25,23 @@ void TcpAgent::start() {
 }
 
 int TcpAgent::effective_window() const {
-  int w = static_cast<int>(cwnd_);
+  int w = static_cast<int>(cwnd_.value());
   if (w < 1) w = 1;
   return std::min(w, cfg_.window);
 }
 
-void TcpAgent::set_cwnd(double v) {
-  if (v < 1.0) v = 1.0;
+void TcpAgent::set_cwnd(Segments v) {
+  if (v < Segments(1.0)) v = Segments(1.0);
   cwnd_ = v;
-  if (cwnd_listener_) cwnd_listener_(sim_.now(), cwnd_);
+  if (cwnd_listener_) cwnd_listener_(sim_.now(), cwnd_.value());
 }
 
 void TcpAgent::open_cwnd() {
   if (cwnd_ < ssthresh_) {
-    set_cwnd(cwnd_ + 1.0);  // slow start: +1 per ACK
+    set_cwnd(cwnd_ + Segments(1.0));  // slow start: +1 per ACK
   } else {
-    set_cwnd(cwnd_ + 1.0 / cwnd_);  // congestion avoidance: +1 per RTT
+    // Congestion avoidance: +1 per RTT (1/cwnd per ACK).
+    set_cwnd(Segments(cwnd_.value() + 1.0 / cwnd_.value()));
   }
 }
 
@@ -61,7 +62,9 @@ void TcpAgent::output(std::int64_t seq, bool is_retx) {
     ++retransmissions_;
     retx_seqs_.insert(seq);
   }
-  PacketPtr p = node_.new_packet(cfg_.dst, IpProto::kTcp, cfg_.packet_size_bytes);
+  PacketPtr p = node_.new_packet(
+      cfg_.dst, IpProto::kTcp,
+      static_cast<std::uint32_t>(cfg_.packet_size.value()));
   TcpHeader h;
   h.flow = cfg_.flow;
   h.src_port = cfg_.src_port;
@@ -142,8 +145,8 @@ void TcpAgent::go_back_n() {
 void TcpAgent::on_timeout() {
   // Classic Tahoe-style restart: halve ssthresh, collapse to one segment and
   // go back to the first unacknowledged segment.
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  set_cwnd(1.0);
+  ssthresh_ = std::max(cwnd_ / 2.0, Segments(2.0));
+  set_cwnd(Segments(1.0));
   exit_recovery_bookkeeping();
   go_back_n();
 }

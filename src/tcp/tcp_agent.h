@@ -17,6 +17,7 @@
 #include "net/node.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
+#include "sim/units.h"
 #include "tcp/rto_estimator.h"
 
 namespace muzha {
@@ -27,14 +28,14 @@ struct TcpConfig {
   std::uint16_t dst_port = 0;
   FlowId flow = 0;
   // IP datagram size of a data segment: 1460 B payload + 40 B TCP/IP header.
-  std::uint32_t packet_size_bytes = 1500;
-  std::uint32_t ack_size_bytes = 40;
+  Bytes packet_size = Bytes(1500);
+  Bytes ack_size = Bytes(40);
   // Advertised window cap in segments (NS-2 `window_`).
   int window = 32;
   // -1 = unbounded source (FTP); otherwise stop after this many segments.
   std::int64_t max_packets = -1;
   RtoConfig rto;
-  double initial_cwnd = 1.0;
+  Segments initial_cwnd = Segments(1.0);
   int dupack_threshold = 3;
 };
 
@@ -48,8 +49,8 @@ class TcpAgent : public Agent {
   void receive(PacketPtr pkt) final;
 
   // --- Observability ------------------------------------------------------
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
+  Segments cwnd() const { return cwnd_; }
+  Segments ssthresh() const { return ssthresh_; }
   std::int64_t highest_ack() const { return highest_ack_; }
   std::int64_t next_seq() const { return t_seqno_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
@@ -82,8 +83,8 @@ class TcpAgent : public Agent {
   void send_much();
   // Retransmits one segment.
   void retransmit(std::int64_t seq);
-  void set_cwnd(double v);
-  void set_ssthresh(double v) { ssthresh_ = v; }
+  void set_cwnd(Segments v);
+  void set_ssthresh(Segments v) { ssthresh_ = v; }
   int dupacks() const { return dupacks_; }
   int effective_window() const;
   std::int64_t outstanding() const { return t_seqno_ - 1 - highest_ack_; }
@@ -115,8 +116,8 @@ class TcpAgent : public Agent {
   Node& node_;
   TcpConfig cfg_;
 
-  double cwnd_;
-  double ssthresh_ = 64.0;
+  Segments cwnd_;
+  Segments ssthresh_ = Segments(64.0);
   std::int64_t t_seqno_ = 0;      // next new segment to send
   std::int64_t highest_ack_ = -1;  // highest cumulatively ACKed segment
   std::int64_t maxseq_ = -1;       // highest segment ever sent

@@ -113,7 +113,8 @@ void TcpSink::customize_ack(TcpHeader&, const Packet&, bool) {}
 
 void TcpSink::send_ack(const Packet& data, bool is_dup) {
   PacketPtr ack =
-      node_.new_packet(data.ip.src, IpProto::kTcp, cfg_.ack_size_bytes);
+      node_.new_packet(data.ip.src, IpProto::kTcp,
+                       static_cast<std::uint32_t>(cfg_.ack_size.value()));
   TcpHeader h;
   h.flow = data.tcp().flow;
   h.src_port = cfg_.port;

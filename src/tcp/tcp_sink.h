@@ -18,6 +18,7 @@
 #include "net/node.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
+#include "sim/units.h"
 
 namespace muzha {
 
@@ -25,7 +26,7 @@ class TcpSink : public Agent {
  public:
   struct Config {
     std::uint16_t port = 0;
-    std::uint32_t ack_size_bytes = 40;
+    Bytes ack_size = Bytes(40);
     int max_sack_blocks = 3;
     // RFC 1122 delayed ACKs: acknowledge every second in-order segment, or
     // after `delack_timeout`, whichever comes first. Out-of-order and

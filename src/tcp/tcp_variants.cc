@@ -16,8 +16,8 @@ void TcpTahoe::on_new_ack(const TcpHeader&, std::int64_t) {
 void TcpTahoe::on_dup_ack(const TcpHeader&) {
   if (in_recovery() || dupacks() != config().dupack_threshold) return;
   // Fast retransmit, then restart from slow start (no fast recovery).
-  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
-  set_cwnd(1.0);
+  set_ssthresh(std::max(cwnd() / 2.0, Segments(2.0)));
+  set_cwnd(Segments(1.0));
   enter_recovery_bookkeeping();
   retransmit(highest_ack() + 1);
 }
@@ -39,14 +39,15 @@ void TcpReno::on_new_ack(const TcpHeader&, std::int64_t) {
 void TcpReno::on_dup_ack(const TcpHeader&) {
   if (in_recovery()) {
     // Window inflation: each dup ACK signals a segment left the network.
-    set_cwnd(cwnd() + 1.0);
+    set_cwnd(cwnd() + Segments(1.0));
     send_much();
     return;
   }
   if (dupacks() != config().dupack_threshold) return;
-  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  set_ssthresh(std::max(cwnd() / 2.0, Segments(2.0)));
   enter_recovery_bookkeeping();
-  set_cwnd(ssthresh() + static_cast<double>(config().dupack_threshold));
+  set_cwnd(ssthresh() +
+           Segments(static_cast<double>(config().dupack_threshold)));
   retransmit(highest_ack() + 1);
 }
 
@@ -65,7 +66,9 @@ void TcpNewReno::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
     // Partial ACK: the next hole is also lost; retransmit it immediately and
     // stay in recovery (RFC 3782), deflating by the amount acknowledged.
     retransmit(h.seqno + 1);
-    set_cwnd(std::max(cwnd() - static_cast<double>(newly_acked) + 1.0, 1.0));
+    set_cwnd(std::max(
+        Segments(cwnd().value() - static_cast<double>(newly_acked) + 1.0),
+        Segments(1.0)));
     return;
   }
   open_cwnd();
@@ -73,14 +76,15 @@ void TcpNewReno::on_new_ack(const TcpHeader& h, std::int64_t newly_acked) {
 
 void TcpNewReno::on_dup_ack(const TcpHeader&) {
   if (in_recovery()) {
-    set_cwnd(cwnd() + 1.0);
+    set_cwnd(cwnd() + Segments(1.0));
     send_much();
     return;
   }
   if (dupacks() != config().dupack_threshold) return;
-  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  set_ssthresh(std::max(cwnd() / 2.0, Segments(2.0)));
   enter_recovery_bookkeeping();
-  set_cwnd(ssthresh() + static_cast<double>(config().dupack_threshold));
+  set_cwnd(ssthresh() +
+           Segments(static_cast<double>(config().dupack_threshold)));
   retransmit(highest_ack() + 1);
 }
 
@@ -109,7 +113,7 @@ std::int64_t TcpSack::next_hole(std::int64_t above) const {
 }
 
 void TcpSack::try_to_send() {
-  while (pipe_ < cwnd()) {
+  while (pipe_ < cwnd().value()) {
     std::int64_t hole = next_hole(last_hole_sent_ + 1);
     if (hole >= 0) {
       last_hole_sent_ = hole;
@@ -154,7 +158,7 @@ void TcpSack::on_dup_ack(const TcpHeader& h) {
     return;
   }
   if (dupacks() != config().dupack_threshold) return;
-  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  set_ssthresh(std::max(cwnd() / 2.0, Segments(2.0)));
   enter_recovery_bookkeeping();
   set_cwnd(ssthresh());
   // Pipe: segments in flight minus those known to have left the network.

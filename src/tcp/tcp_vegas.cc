@@ -23,9 +23,9 @@ void TcpVegas::on_new_ack(const TcpHeader& h, std::int64_t) {
 
   // Collect an RTT sample for the Vegas estimator (Karn-safe).
   if (h.ts_echo > SimTime::zero() && !seq_was_retransmitted(h.seqno)) {
-    double rtt = (sim().now() - h.ts_echo).to_seconds();
-    if (base_rtt_s_ == 0.0 || rtt < base_rtt_s_) base_rtt_s_ = rtt;
-    if (epoch_rtt_s_ == 0.0 || rtt < epoch_rtt_s_) epoch_rtt_s_ = rtt;
+    Seconds rtt = to_seconds(sim().now() - h.ts_echo);
+    if (base_rtt_ == Seconds(0.0) || rtt < base_rtt_) base_rtt_ = rtt;
+    if (epoch_rtt_ == Seconds(0.0) || rtt < epoch_rtt_) epoch_rtt_ = rtt;
   }
   note_ack(h);
 
@@ -33,31 +33,31 @@ void TcpVegas::on_new_ack(const TcpHeader& h, std::int64_t) {
 }
 
 double TcpVegas::compute_diff() const {
-  return cwnd() * (1.0 - base_rtt_s_ / epoch_rtt_s_);
+  return cwnd().value() * (1.0 - base_rtt_ / epoch_rtt_);
 }
 
 void TcpVegas::end_of_epoch() {
-  if (epoch_rtt_s_ > 0.0 && base_rtt_s_ > 0.0) {
+  if (epoch_rtt_ > Seconds(0.0) && base_rtt_ > Seconds(0.0)) {
     last_diff_ = compute_diff();
     if (cwnd() < ssthresh()) {
       // Slow start: terminate as soon as the network starts queueing.
       if (last_diff_ > vcfg_.gamma) {
-        set_cwnd(std::max(cwnd() - cwnd() / 8.0, 2.0));
-        set_ssthresh(2.0);  // switch to congestion avoidance
+        set_cwnd(std::max(cwnd() - cwnd() / 8.0, Segments(2.0)));
+        set_ssthresh(Segments(2.0));  // switch to congestion avoidance
       } else if (ss_grow_this_epoch_) {
         set_cwnd(cwnd() * 2.0);
       }
       ss_grow_this_epoch_ = !ss_grow_this_epoch_;
     } else {
       if (last_diff_ < vcfg_.alpha) {
-        set_cwnd(cwnd() + 1.0);
+        set_cwnd(cwnd() + Segments(1.0));
       } else if (last_diff_ > vcfg_.beta) {
-        set_cwnd(std::max(cwnd() - 1.0, 2.0));
+        set_cwnd(std::max(cwnd() - Segments(1.0), Segments(2.0)));
       }
       // else: within [alpha, beta] — hold.
     }
   }
-  epoch_rtt_s_ = 0.0;
+  epoch_rtt_ = Seconds(0.0);
   epoch_end_seq_ = next_seq();
   on_epoch_reset();
 }
@@ -69,14 +69,14 @@ void TcpVegas::on_dup_ack(const TcpHeader&) {
   }
   if (dupacks() != config().dupack_threshold) return;
   // Vegas reduces less aggressively than Reno on loss (3/4 rather than 1/2).
-  set_ssthresh(std::max(cwnd() * 0.75, 2.0));
+  set_ssthresh(std::max(cwnd() * 0.75, Segments(2.0)));
   enter_recovery_bookkeeping();
   set_cwnd(ssthresh());
   retransmit(highest_ack() + 1);
 }
 
 void TcpVegas::on_timeout() {
-  epoch_rtt_s_ = 0.0;
+  epoch_rtt_ = Seconds(0.0);
   TcpAgent::on_timeout();
   epoch_end_seq_ = next_seq();
 }

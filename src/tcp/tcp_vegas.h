@@ -23,7 +23,8 @@ class TcpVegas : public TcpAgent {
  public:
   TcpVegas(Simulator& sim, Node& node, TcpConfig cfg, VegasConfig vcfg = {});
 
-  double base_rtt_s() const { return base_rtt_s_; }
+  Seconds base_rtt() const { return base_rtt_; }
+  // Estimated backlog, in segments (dimensionless diff of the Vegas paper).
   double last_diff() const { return last_diff_; }
 
  protected:
@@ -40,15 +41,14 @@ class TcpVegas : public TcpAgent {
   virtual void on_epoch_reset() {}
 
   const VegasConfig& vegas_config() const { return vcfg_; }
-  double base_rtt() const { return base_rtt_s_; }
-  double epoch_rtt() const { return epoch_rtt_s_; }
+  Seconds epoch_rtt() const { return epoch_rtt_; }
 
  private:
   void end_of_epoch();
 
   VegasConfig vcfg_;
-  double base_rtt_s_ = 0.0;   // minimum RTT ever observed
-  double epoch_rtt_s_ = 0.0;  // minimum RTT within the current epoch
+  Seconds base_rtt_;   // minimum RTT ever observed; zero = no sample yet
+  Seconds epoch_rtt_;  // minimum RTT within the current epoch
   std::int64_t epoch_end_seq_ = 0;
   bool ss_grow_this_epoch_ = true;  // slow start doubles every other RTT
   double last_diff_ = 0.0;

@@ -1,0 +1,4 @@
+// expect-fail: a byte count handed to a segment-count parameter
+#include "sim/units.h"
+static double window(muzha::Segments s) { return s.value(); }
+double f() { return window(muzha::Bytes(1500)); }

@@ -1,0 +1,3 @@
+// expect-fail: mixing log-scale and linear power in one sum
+#include "sim/units.h"
+auto f() { return muzha::Dbm(0.0) + muzha::MilliWatts(1.0); }

@@ -1,0 +1,3 @@
+// expect-fail: implicit conversion from bare double into a quantity
+#include "sim/units.h"
+muzha::Meters f() { return 250.0; }

@@ -1,0 +1,3 @@
+// expect-fail: adding quantities of different dimensions
+#include "sim/units.h"
+muzha::Meters f() { return muzha::Meters(1.0) + muzha::Seconds(1.0); }

@@ -1,0 +1,3 @@
+// expect-fail: the dimensionless ratio of two lengths is not a speed
+#include "sim/units.h"
+muzha::MetersPerSecond f() { return muzha::Meters(10.0) / muzha::Meters(5.0); }

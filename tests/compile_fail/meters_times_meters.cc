@@ -1,0 +1,3 @@
+// expect-fail: Length * Length (area) has no sanctioned result type
+#include "sim/units.h"
+auto f() { return muzha::Meters(2.0) * muzha::Meters(3.0); }

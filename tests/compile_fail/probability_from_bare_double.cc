@@ -1,0 +1,3 @@
+// expect-fail: implicit conversion from bare double into Probability
+#include "sim/units.h"
+muzha::Probability f() { return 0.5; }

@@ -1,0 +1,3 @@
+// expect-fail: adding a unitless scalar to a data rate
+#include "sim/units.h"
+muzha::BitsPerSecond f() { return muzha::BitsPerSecond(2e6) + 1.0; }

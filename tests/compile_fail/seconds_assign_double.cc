@@ -1,0 +1,3 @@
+// expect-fail: assigning a bare double into a quantity lvalue
+#include "sim/units.h"
+void f(muzha::Seconds& s) { s = 0.5; }

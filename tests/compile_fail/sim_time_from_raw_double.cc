@@ -1,0 +1,3 @@
+// expect-fail: the checked clock bridge only accepts typed Seconds
+#include "sim/units.h"
+muzha::SimTime f() { return muzha::to_sim_time(0.5); }

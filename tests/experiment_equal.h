@@ -12,7 +12,7 @@ namespace muzha::testing {
 inline bool series_equal(const TimeSeries& a, const TimeSeries& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].t_s != b[i].t_s || a[i].value != b[i].value) return false;
+    if (a[i].t != b[i].t || a[i].value != b[i].value) return false;
   }
   return true;
 }
@@ -25,8 +25,8 @@ inline void expect_results_identical(const ExperimentResult& a,
     const FlowResult& fb = b.flows[i];
     EXPECT_EQ(fa.variant, fb.variant) << "flow " << i;
     EXPECT_EQ(fa.delivered, fb.delivered) << "flow " << i;
-    EXPECT_EQ(fa.duration_s, fb.duration_s) << "flow " << i;
-    EXPECT_EQ(fa.throughput_bps, fb.throughput_bps) << "flow " << i;
+    EXPECT_EQ(fa.duration, fb.duration) << "flow " << i;
+    EXPECT_EQ(fa.throughput, fb.throughput) << "flow " << i;
     EXPECT_EQ(fa.packets_sent, fb.packets_sent) << "flow " << i;
     EXPECT_EQ(fa.retransmissions, fb.retransmissions) << "flow " << i;
     EXPECT_EQ(fa.timeouts, fb.timeouts) << "flow " << i;

@@ -1,0 +1,29 @@
+// Fixture: unit-suffixed raw doubles. Not compiled — read only by
+// muzha-lint. Each declaration below stores a dimensioned quantity in a
+// bare double; the quantity types in sim/units.h are the sanctioned
+// representation.
+struct PhyKnobs {
+  double rx_range_m = 250.0;       // expect: raw-unit-double
+  double plcp_us = 192.0;          // expect: raw-unit-double
+  double data_rate_bps = 2e6;      // expect: raw-unit-double
+  double tx_power_dbm = 15.0;      // expect: raw-unit-double
+  float speed_mps = 3.0f;          // expect: raw-unit-double, float-accum
+  double dwell_s_ = 0.0;           // expect: raw-unit-double
+};
+
+double airtime(double frame_s, int retries) {  // expect: raw-unit-double
+  return frame_s * retries;
+}
+
+// Conversion accessors returning a raw representation are fine: the rule
+// targets stored or passed quantities, not `.value()`-style bridges.
+struct Clock {
+  double to_ms() const { return 0.0; }
+  double to_us() const { return 0.0; }
+};
+
+// Unsuffixed or integer-typed names are out of scope.
+struct Ok {
+  double ratio = 1.78;
+  int size_bytes = 1500;
+};

@@ -12,14 +12,14 @@ namespace {
 
 TEST(CbrApp, SendsAtConfiguredRate) {
   Network net(1);
-  build_chain(net, 1, 200.0);
+  build_chain(net, 1, Meters(200.0));
   net.use_static_routing();
   net.static_routing(0).add_route(1, 1);
 
   CbrApp::Config cfg;
   cfg.dst = net.node(1).id();
   cfg.packet_size_bytes = 500;
-  cfg.rate_bps = 400'000;  // 100 packets/s
+  cfg.rate = BitsPerSecond(400'000);  // 100 packets/s
   cfg.start_time = SimTime::from_seconds(1.0);
   CbrApp cbr(net.sim(), net.node(0), cfg);
   cbr.install();
@@ -33,12 +33,12 @@ TEST(CbrApp, SendsAtConfiguredRate) {
 
 TEST(CbrApp, StopsAtStopTime) {
   Network net(1);
-  build_chain(net, 1, 200.0);
+  build_chain(net, 1, Meters(200.0));
   net.use_static_routing();
   net.static_routing(0).add_route(1, 1);
   CbrApp::Config cfg;
   cfg.dst = net.node(1).id();
-  cfg.rate_bps = 409'600;
+  cfg.rate = BitsPerSecond(409'600);
   cfg.start_time = SimTime::zero();
   cfg.stop_time = SimTime::from_seconds(1.0);
   CbrApp cbr(net.sim(), net.node(0), cfg);
@@ -51,7 +51,7 @@ TEST(CbrApp, StopsAtStopTime) {
 
 TEST(FtpApp, StartsAgentAtConfiguredTime) {
   Network net(1);
-  build_chain(net, 1, 200.0);
+  build_chain(net, 1, Meters(200.0));
   net.use_static_routing();
   net.static_routing(0).add_route(1, 1);
   net.static_routing(1).add_route(0, 0);
@@ -81,7 +81,7 @@ TEST(CbrBackgroundTraffic, DegradesTcpThroughput) {
   // TCP alone vs TCP + CBR cross-load on a 2-hop chain.
   auto run = [](bool with_cbr) {
     Network net(3);
-    build_chain(net, 2, 200.0);
+    build_chain(net, 2, Meters(200.0));
     net.use_static_routing();
     net.static_routing(0).add_route(2, 1);
     net.static_routing(1).add_route(2, 2);
@@ -103,7 +103,7 @@ TEST(CbrBackgroundTraffic, DegradesTcpThroughput) {
     CbrApp::Config cc;
     cc.dst = net.node(0).id();
     cc.packet_size_bytes = 1000;
-    cc.rate_bps = 600'000;
+    cc.rate = BitsPerSecond(600'000);
     cc.start_time = SimTime::zero();
     CbrApp cbr(net.sim(), net.node(2), cc);
     if (with_cbr) cbr.install();

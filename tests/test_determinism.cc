@@ -113,7 +113,7 @@ std::uint64_t hash_series(const TimeSeries& s) {
   std::uint64_t h = 14695981039346656037ull;
   for (std::size_t i = 0; i < s.size(); ++i) {
     std::uint64_t t_bits, v_bits;
-    std::memcpy(&t_bits, &s[i].t_s, 8);
+    std::memcpy(&t_bits, &s[i].t, 8);
     std::memcpy(&v_bits, &s[i].value, 8);
     h = fnv1a_u64(h, t_bits);
     h = fnv1a_u64(h, v_bits);
@@ -147,7 +147,7 @@ TEST(Determinism, GoldenThreeHopMuzhaChainPinned) {
   // Throughput compared on exact bits, not with a tolerance: determinism
   // means the double is identical, not merely close.
   std::uint64_t tput_bits;
-  std::memcpy(&tput_bits, &f.throughput_bps, 8);
+  std::memcpy(&tput_bits, &f.throughput, 8);
   EXPECT_EQ(tput_bits, 0x41183d0000000000ull);
 
   ASSERT_EQ(f.cwnd_trace.size(), 64u);

@@ -57,7 +57,7 @@ TEST(QueueGradient, RisingQueueCapsDrai) {
   Node a(sim, channel, 0, {0, 0});
   DraiConfig cfg;
   cfg.use_queue_gradient = true;
-  cfg.gradient_stabilize_pps = 5.0;
+  cfg.gradient_stabilize = SegmentsPerSecond(5.0);
   BandwidthEstimator est(sim, a.device(), cfg);
   est.start();
 
@@ -75,7 +75,7 @@ TEST(QueueGradient, RisingQueueCapsDrai) {
     });
   }
   sim.run_until(SimTime::from_ms(460));
-  EXPECT_GT(est.queue_gradient_pps(), 10.0);
+  EXPECT_GT(est.queue_gradient(), SegmentsPerSecond(10.0));
   EXPECT_LE(est.current_drai(), kDraiModerateDecel);
 }
 

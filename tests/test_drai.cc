@@ -46,16 +46,16 @@ TEST(Drai, CombinedTakesTheMoreCongestedSignal) {
 }
 
 TEST(Drai, Table52WindowActions) {
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveAccel, 4.0), 8.0);
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateAccel, 4.0), 5.0);
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiStabilize, 4.0), 4.0);
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateDecel, 4.0), 3.0);
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveDecel, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveAccel, Segments(4.0)).value(), 8.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateAccel, Segments(4.0)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiStabilize, Segments(4.0)).value(), 4.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateDecel, Segments(4.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveDecel, Segments(4.0)).value(), 2.0);
 }
 
 TEST(Drai, WindowActionsFloorAtOne) {
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateDecel, 1.0), 1.0);
-  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveDecel, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiModerateDecel, Segments(1.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(apply_drai_to_cwnd(kDraiAggressiveDecel, Segments(1.5)).value(), 1.0);
 }
 
 TEST(Drai, ConfigurableThresholds) {

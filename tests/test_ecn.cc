@@ -103,11 +103,11 @@ TEST(TcpNewRenoEcnTest, EchoedMarkHalvesOncePerRtt) {
   TcpHarness<TcpNewRenoEcn> h(cfg);
   h.start();
   h.ack_each_up_to(9);  // cwnd 11
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.agent().receive(
       h.make_ack_with(10, [](TcpHeader& t) { t.ce_echo = true; }));
   EXPECT_EQ(h.agent().ecn_reductions(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before / 2.0);
   // Second mark inside the same RTT: ignored.
   h.agent().receive(
       h.make_ack_with(11, [](TcpHeader& t) { t.ce_echo = true; }));
@@ -120,7 +120,7 @@ TEST(TcpNewRenoEcnTest, UnmarkedAcksBehaveLikeNewReno) {
   TcpHarness<TcpNewRenoEcn> h(cfg);
   h.start();
   h.ack_each_up_to(5);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 7.0);  // slow-start growth
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 7.0);  // slow-start growth
   EXPECT_EQ(h.agent().ecn_reductions(), 0u);
 }
 

@@ -18,8 +18,8 @@ std::string slurp(const std::string& path) {
 
 TEST(Export, CsvHeaderAndRows) {
   std::vector<NamedSeries> data;
-  data.push_back({"a", {{0.0, 1.0}, {1.0, 2.0}}});
-  data.push_back({"b", {{0.5, 10.0}}});
+  data.push_back({"a", {{Seconds(0.0), 1.0}, {Seconds(1.0), 2.0}}});
+  data.push_back({"b", {{Seconds(0.5), 10.0}}});
   std::string path = "/tmp/muzha_test_export.csv";
   ASSERT_TRUE(write_csv(path, data));
   std::string text = slurp(path);
@@ -48,8 +48,8 @@ TEST(Export, CsvFailsOnBadPath) {
 
 TEST(Export, GnuplotScriptReferencesEveryColumn) {
   std::vector<NamedSeries> data;
-  data.push_back({"flow1", {{0.0, 1.0}}});
-  data.push_back({"flow2", {{0.0, 2.0}}});
+  data.push_back({"flow1", {{Seconds(0.0), 1.0}}});
+  data.push_back({"flow2", {{Seconds(0.0), 2.0}}});
   std::string path = "/tmp/muzha_test_export.gp";
   ASSERT_TRUE(write_gnuplot_script(path, "data.csv", "Title", data, "kbps"));
   std::string text = slurp(path);

@@ -19,7 +19,7 @@ class GridTest : public ::testing::Test {
   //   0 1 2
   GridTest() {
     net = std::make_unique<Network>(2);
-    build_grid(*net, 3, 3, 200.0);
+    build_grid(*net, 3, 3, Meters(200.0));
     net->use_aodv();
   }
 

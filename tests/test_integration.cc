@@ -23,7 +23,7 @@ TEST(Integration, NewRenoDeliversOverFourHopChain) {
   auto res = run_experiment(single_flow(TcpVariant::kNewReno, 4, 8, 10.0));
   const FlowResult& f = res.flows[0];
   EXPECT_GT(f.delivered, 50);
-  EXPECT_GT(f.throughput_bps, 20e3);
+  EXPECT_GT(f.throughput, BitsPerSecond(20e3));
   // Conservation: the sink cannot deliver more than the sender emitted.
   EXPECT_LE(f.delivered, static_cast<std::int64_t>(f.packets_sent));
 }
@@ -32,7 +32,7 @@ TEST(Integration, MuzhaDeliversOverFourHopChain) {
   auto res = run_experiment(single_flow(TcpVariant::kMuzha, 4, 8, 10.0));
   EXPECT_GT(res.flows[0].delivered, 100);
   // Router assistance active: DRAI adjustments actually happened.
-  EXPECT_GT(res.flows[0].throughput_bps, 50e3);
+  EXPECT_GT(res.flows[0].throughput, BitsPerSecond(50e3));
 }
 
 TEST(Integration, FiniteTransferCompletesExactly) {
@@ -104,8 +104,8 @@ TEST(Integration, CwndTraceIsRecorded) {
   ASSERT_GT(trace.size(), 5u);
   for (const TimePoint& p : trace) {
     EXPECT_GE(p.value, 1.0);
-    EXPECT_GE(p.t_s, 0.0);
-    EXPECT_LE(p.t_s, 5.0);
+    EXPECT_GE(p.t, Seconds(0.0));
+    EXPECT_LE(p.t, Seconds(5.0));
   }
 }
 

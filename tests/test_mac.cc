@@ -72,7 +72,7 @@ TEST_F(MacTest, UnicastDeliversWithRtsCtsAndAck) {
 
 TEST_F(MacTest, RtsThresholdSkipsRtsForSmallFrames) {
   MacParams mp;
-  mp.rts_threshold_bytes = 500;
+  mp.rts_threshold = Bytes(500);
   Station& a = add_station(0, {0, 0}, mp);
   Station& b = add_station(1, {200, 0}, mp);
   a.mac->transmit(ip_packet(100, 0, 1), 1);
@@ -120,7 +120,7 @@ TEST_F(MacTest, RetryExhaustionReportsLinkFailure) {
 }
 
 TEST_F(MacTest, RetriesRecoverFromTransientLoss) {
-  channel.set_error_model(std::make_unique<UniformErrorModel>(0.4));
+  channel.set_error_model(std::make_unique<UniformErrorModel>(Probability(0.4)));
   Station& a = add_station(0, {0, 0});
   Station& b = add_station(1, {200, 0});
   int delivered = 0;
@@ -138,7 +138,7 @@ TEST_F(MacTest, RetriesRecoverFromTransientLoss) {
 TEST_F(MacTest, DuplicateSuppressionOnRetriedData) {
   // Drop many frames so MAC-level ACKs get lost and data is retried; the
   // receiver must deliver each MSDU at most once.
-  channel.set_error_model(std::make_unique<UniformErrorModel>(0.3));
+  channel.set_error_model(std::make_unique<UniformErrorModel>(Probability(0.3)));
   Station& a = add_station(0, {0, 0});
   Station& b = add_station(1, {200, 0});
   const int n = 20;

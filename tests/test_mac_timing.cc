@@ -60,10 +60,10 @@ TEST_F(MacTimingTest, FourWayExchangeTakesExpectedAirtime) {
   WirelessPhy& phy = *a.phy;
   SimTime difs = SimTime::from_us(50);
   SimTime sifs = SimTime::from_us(10);
-  SimTime rts = phy.tx_duration(kMacRtsBytes, true);
-  SimTime cts = phy.tx_duration(kMacCtsBytes, true);
-  SimTime data = phy.tx_duration(1460 + kMacDataOverheadBytes, false);
-  SimTime ack = phy.tx_duration(kMacAckBytes, true);
+  SimTime rts = phy.tx_duration(Bytes(kMacRtsBytes), true);
+  SimTime cts = phy.tx_duration(Bytes(kMacCtsBytes), true);
+  SimTime data = phy.tx_duration(Bytes(1460 + kMacDataOverheadBytes), false);
+  SimTime ack = phy.tx_duration(Bytes(kMacAckBytes), true);
   SimTime expected = difs + rts + sifs + cts + sifs + data + sifs + ack;
   // Allow propagation delays (~0.7 us per hop of 200 m, 6 crossings).
   SimTime measured = a.tx_done_times[0];
@@ -82,7 +82,7 @@ TEST_F(MacTimingTest, DataDeliveredBeforeMacAckCompletes) {
   EXPECT_LT(b.rx[0].first, a.tx_done_times[0]);
   SimTime gap = a.tx_done_times[0] - b.rx[0].first;
   SimTime sifs_ack = SimTime::from_us(10) +
-                     a.phy->tx_duration(kMacAckBytes, true);
+                     a.phy->tx_duration(Bytes(kMacAckBytes), true);
   EXPECT_GE(gap, sifs_ack);
   EXPECT_LE(gap, sifs_ack + SimTime::from_us(5));
 }
@@ -95,7 +95,7 @@ TEST_F(MacTimingTest, BroadcastSkipsRtsAndAck) {
   ASSERT_EQ(a.tx_done_times.size(), 1u);
   // DIFS + broadcast data at the basic rate; no control frames.
   SimTime expected = SimTime::from_us(50) +
-                     a.phy->tx_duration(500 + kMacDataOverheadBytes, true);
+                     a.phy->tx_duration(Bytes(500 + kMacDataOverheadBytes), true);
   EXPECT_GE(a.tx_done_times[0], expected);
   EXPECT_LE(a.tx_done_times[0], expected + SimTime::from_us(5));
   EXPECT_EQ(a.mac->rts_sent(), 0u);
@@ -110,8 +110,8 @@ TEST_F(MacTimingTest, RetryTimeoutAndBackoffBounds) {
   sim.run_until(SimTime::from_seconds(10));
   ASSERT_EQ(a.tx_done_times.size(), 1u);
   MacParams mp;
-  SimTime rts = a.phy->tx_duration(kMacRtsBytes, true);
-  SimTime cts = a.phy->tx_duration(kMacCtsBytes, true);
+  SimTime rts = a.phy->tx_duration(Bytes(kMacRtsBytes), true);
+  SimTime cts = a.phy->tx_duration(Bytes(kMacCtsBytes), true);
   SimTime timeout = mp.sifs + cts + mp.timeout_guard;
   SimTime floor = 7 * (mp.difs + rts + timeout);
   // Max backoff: 31+63+127+255+511+1023+1023 slots of 20 us.

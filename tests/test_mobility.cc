@@ -14,8 +14,8 @@ TEST(LinearMobilityTest, MovesAtConfiguredVelocity) {
   Network net(1);
   Node& n = net.add_node({0, 0});
   LinearMobility::Config cfg;
-  cfg.vx_mps = 10.0;
-  cfg.vy_mps = -5.0;
+  cfg.vx = MetersPerSecond(10.0);
+  cfg.vy = MetersPerSecond(-5.0);
   LinearMobility mob(net.sim(), n, cfg);
   mob.start();
   net.run_until(SimTime::from_seconds(10));
@@ -28,7 +28,7 @@ TEST(LinearMobilityTest, StopsAtStopTime) {
   Network net(1);
   Node& n = net.add_node({0, 0});
   LinearMobility::Config cfg;
-  cfg.vx_mps = 10.0;
+  cfg.vx = MetersPerSecond(10.0);
   cfg.stop_after = SimTime::from_seconds(2.0);
   LinearMobility mob(net.sim(), n, cfg);
   mob.start();
@@ -44,8 +44,8 @@ TEST(RandomWaypointTest, StaysInsideTheArena) {
   cfg.max_x = 1000;
   cfg.min_y = 0;
   cfg.max_y = 1000;
-  cfg.min_speed_mps = 5;
-  cfg.max_speed_mps = 20;
+  cfg.min_speed = MetersPerSecond(5);
+  cfg.max_speed = MetersPerSecond(20);
   cfg.pause = SimTime::from_seconds(0.5);
   RandomWaypointMobility mob(net.sim(), n, cfg);
   mob.start();
@@ -78,7 +78,7 @@ TEST(MobilityIntegration, FlowSurvivesRelayExcursion) {
   Network net(3);
   // 200 m spacing leaves 50 m of slack below the 250 m decode range, so the
   // links only break once the relay's lateral offset exceeds ~150 m.
-  build_chain(net, 2, /*spacing_m=*/200.0);
+  build_chain(net, 2, /*spacing=*/Meters(200.0));
   net.use_aodv();
 
   TcpConfig tc;
@@ -96,14 +96,14 @@ TEST(MobilityIntegration, FlowSurvivesRelayExcursion) {
   // The relay (node 1) wanders perpendicular to the chain, breaking both
   // links once its lateral offset exceeds ~150 m, then comes back.
   LinearMobility::Config mc;
-  mc.vy_mps = 50.0;
+  mc.vy = MetersPerSecond(50.0);
   LinearMobility mob(net.sim(), net.node(1), mc);
   net.sim().schedule_at(SimTime::from_seconds(5),
                         [&] { mob.start(); });
   net.sim().schedule_at(SimTime::from_seconds(10),
-                        [&] { mob.set_velocity(0, -50.0); });
+                        [&] { mob.set_velocity(MetersPerSecond(0.0), MetersPerSecond(-50.0)); });
   net.sim().schedule_at(SimTime::from_seconds(15),
-                        [&] { mob.set_velocity(0, 0); });
+                        [&] { mob.set_velocity(MetersPerSecond(0.0), MetersPerSecond(0.0)); });
 
   net.run_until(SimTime::from_seconds(8));
   std::int64_t mid = sink.delivered();

@@ -53,7 +53,7 @@ TEST_P(SingleFlowSweep, TransportInvariantsHold) {
   }
 
   // Goodput is bounded by the channel rate.
-  EXPECT_LT(f.throughput_bps, 2e6);
+  EXPECT_LT(f.throughput, BitsPerSecond(2e6));
 
   // Vegas's signature conservatism: almost no retransmissions.
   if (p.variant == TcpVariant::kVegas && p.hops <= 8) {
@@ -138,13 +138,14 @@ class DraiTableSweep
 TEST_P(DraiTableSweep, ApplyIsMonotoneInDrai) {
   auto [drai, cwnd] = GetParam();
   // For any window, a higher DRAI level never yields a smaller next window.
-  double lower = apply_drai_to_cwnd(static_cast<std::uint8_t>(drai), cwnd);
+  Segments lower =
+      apply_drai_to_cwnd(static_cast<std::uint8_t>(drai), Segments(cwnd));
   if (drai < kDraiAggressiveAccel) {
-    double higher =
-        apply_drai_to_cwnd(static_cast<std::uint8_t>(drai + 1), cwnd);
+    Segments higher =
+        apply_drai_to_cwnd(static_cast<std::uint8_t>(drai + 1), Segments(cwnd));
     EXPECT_LE(lower, higher);
   }
-  EXPECT_GE(lower, 1.0);
+  EXPECT_GE(lower, Segments(1.0));
 }
 
 INSTANTIATE_TEST_SUITE_P(

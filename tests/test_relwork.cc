@@ -53,11 +53,11 @@ TEST(TcpDoorTest, SuppressesDecreaseWhileCcDisabled) {
   DoorHarness h;
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.ack(5);  // OOO event: disable congestion response for t1
   h.dup_acks(9, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);  // no halving
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);  // no halving
   EXPECT_EQ(h.agent().retransmissions(), 1u);  // still repairs the loss
 }
 
@@ -65,13 +65,13 @@ TEST(TcpDoorTest, InstantRecoveryRestoresWindowState) {
   DoorHarness h;
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(9, 3);  // congestion response: cwnd halved-ish
-  ASSERT_LT(h.agent().ssthresh(), before);
+  ASSERT_LT(h.agent().ssthresh().value(), before);
   // Out-of-order evidence arrives shortly after: undo the response.
   h.ack(5);
   EXPECT_EQ(h.agent().instant_recoveries(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);
   EXPECT_FALSE(h.agent().in_recovery());
 }
 
@@ -80,7 +80,7 @@ TEST(TcpDoorTest, NoInstantRecoveryAfterT2Expires) {
   h.start();
   h.ack_each_up_to(9);
   h.dup_acks(9, 3);
-  double in_recovery_cwnd = h.agent().cwnd();
+  double in_recovery_cwnd = h.agent().cwnd().value();
   h.run_ms(2500);  // beyond t2 (2 s)
   std::uint64_t timeouts = h.agent().timeouts();
   h.ack(5);
@@ -93,11 +93,11 @@ TEST(TcpDoorTest, BehavesLikeNewRenoWithoutReordering) {
   DoorHarness h;
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(9, 3);
   EXPECT_EQ(h.agent().ooo_events(), 0u);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), before / 2.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -124,10 +124,10 @@ TEST(AdtcpSenderTest, CongestionStateTriggersNormalDecrease) {
   AdtcpHarness h;
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_with_state(9, AdtcpState::kCongestion, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), before / 2.0);
   EXPECT_EQ(h.agent().non_congestion_losses(), 0u);
 }
 
@@ -135,10 +135,10 @@ TEST(AdtcpSenderTest, ChannelErrorStateRetransmitsWithoutDecrease) {
   AdtcpHarness h;
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_with_state(9, AdtcpState::kChannelError, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);
   EXPECT_EQ(h.agent().non_congestion_losses(), 1u);
   EXPECT_EQ(h.agent().retransmissions(), 1u);
 }
@@ -150,10 +150,10 @@ TEST(AdtcpSenderTest, RouteChangeFreezesThroughTimeout) {
   // Tell the sender the network is re-routing, then let the RTO fire.
   h.agent().receive(h.make_ack_with(
       10, [&](TcpHeader& h2) { h2.net_state = AdtcpState::kRouteChange; }));
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.run_ms(4000);
   EXPECT_GE(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);  // frozen, not collapsed
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);  // frozen, not collapsed
 }
 
 // ---------------------------------------------------------------------------
@@ -283,8 +283,8 @@ TEST(TcpJerseyTest, RateEstimateTracksAckStream) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);  // one ACK every 10 ms => ~100 segments/s
   }
-  EXPECT_GT(h.agent().rate_estimate_pps(), 20.0);
-  EXPECT_LT(h.agent().rate_estimate_pps(), 200.0);
+  EXPECT_GT(h.agent().rate_estimate(), SegmentsPerSecond(20.0));
+  EXPECT_LT(h.agent().rate_estimate(), SegmentsPerSecond(200.0));
 }
 
 TEST(TcpJerseyTest, DupAcksSetWindowToAbeEstimate) {
@@ -295,11 +295,11 @@ TEST(TcpJerseyTest, DupAcksSetWindowToAbeEstimate) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);
   }
-  double ownd = h.agent().abe_window();
+  Segments ownd = h.agent().abe_window();
   h.dup_acks(10, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), ownd);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), ownd);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), ownd.value());
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), ownd.value());
 }
 
 TEST(TcpJerseyTest, CongestionWarningClampsOncePerRtt) {
@@ -310,11 +310,11 @@ TEST(TcpJerseyTest, CongestionWarningClampsOncePerRtt) {
     h.ack_rtt(s, 0.050);
     h.run_ms(5);
   }
-  double big = h.agent().cwnd();
-  ASSERT_GT(big, h.agent().abe_window());
+  double big = h.agent().cwnd().value();
+  ASSERT_GT(big, h.agent().abe_window().value());
   h.ack_rtt(21, 0.050, /*ce=*/true);
   EXPECT_EQ(h.agent().cw_clamps(), 1u);
-  EXPECT_LE(h.agent().cwnd(), big);
+  EXPECT_LE(h.agent().cwnd().value(), big);
   // A second CW echo within the same RTT must not clamp again.
   h.ack_rtt(22, 0.050, /*ce=*/true);
   EXPECT_EQ(h.agent().cw_clamps(), 1u);
@@ -328,11 +328,11 @@ TEST(TcpJerseyTest, TimeoutUsesAbeAsSsthresh) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);
   }
-  double ownd = h.agent().abe_window();
+  Segments ownd = h.agent().abe_window();
   h.run_ms(4000);
   EXPECT_GE(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), ownd);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), ownd.value());
 }
 
 // ---------------------------------------------------------------------------
@@ -366,7 +366,7 @@ TEST(TcpRoVegasTest, IgnoresBackwardPathCongestion) {
   std::int64_t upto = 40;
   for (std::int64_t s = 1; s <= upto; ++s) {
     h.ack_full(s, 0.300, 0.0);
-    grown = h.agent().cwnd();
+    grown = h.agent().cwnd().value();
   }
   // Plain Vegas would shrink (diff computed from inflated RTT); RoVegas
   // keeps growing because the forward path reports no queueing.
@@ -381,14 +381,14 @@ TEST(TcpRoVegasTest, ReactsToForwardPathQueueing) {
   // Grow a bit first.
   std::int64_t upto = 12;
   for (std::int64_t s = 1; s <= upto; ++s) h.ack_full(s, 0.050, 0.0);
-  double grown = h.agent().cwnd();
+  double grown = h.agent().cwnd().value();
   // Forward queueing delay appears: diff rises, the window must not grow
   // further (and eventually shrinks).
   upto = h.agent().highest_ack() + 40;
   for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
     h.ack_full(s, 0.300, 0.250);
   }
-  EXPECT_LT(h.agent().cwnd(), grown + 1.0);
+  EXPECT_LT(h.agent().cwnd().value(), grown + 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -418,8 +418,8 @@ TEST(TcpWestwoodTest, BandwidthEstimateConverges) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);  // 100 segments/s steady ACK stream
   }
-  EXPECT_GT(h.agent().bandwidth_estimate_pps(), 50.0);
-  EXPECT_LT(h.agent().bandwidth_estimate_pps(), 150.0);
+  EXPECT_GT(h.agent().bandwidth_estimate(), SegmentsPerSecond(50.0));
+  EXPECT_LT(h.agent().bandwidth_estimate(), SegmentsPerSecond(150.0));
 }
 
 TEST(TcpWestwoodTest, LossSetsSsthreshFromEstimateNotHalf) {
@@ -430,12 +430,12 @@ TEST(TcpWestwoodTest, LossSetsSsthreshFromEstimateNotHalf) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);
   }
-  double eligible = h.agent().eligible_window();
-  double before = h.agent().cwnd();
+  Segments eligible = h.agent().eligible_window();
+  double before = h.agent().cwnd().value();
   h.dup_acks(20, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), eligible);
-  EXPECT_LE(h.agent().cwnd(), before);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), eligible.value());
+  EXPECT_LE(h.agent().cwnd().value(), before);
 }
 
 TEST(TcpWestwoodTest, TimeoutKeepsEstimateAsSsthresh) {
@@ -446,11 +446,11 @@ TEST(TcpWestwoodTest, TimeoutKeepsEstimateAsSsthresh) {
     h.ack_rtt(s, 0.050);
     h.run_ms(10);
   }
-  double eligible = h.agent().eligible_window();
+  Segments eligible = h.agent().eligible_window();
   h.run_ms(4000);
   EXPECT_GE(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), eligible);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), eligible.value());
 }
 
 TEST(TcpRoVegasTest, FallsBackToVegasWithoutRouterSupport) {
@@ -460,7 +460,7 @@ TEST(TcpRoVegasTest, FallsBackToVegasWithoutRouterSupport) {
   // qdelay never set (no router support): compute_diff falls back to the
   // RTT-based Vegas estimate, so slow-start still terminates on queueing.
   h.ack(0);
-  EXPECT_GE(h.agent().cwnd(), 1.0);  // smoke: no crash, sane window
+  EXPECT_GE(h.agent().cwnd().value(), 1.0);  // smoke: no crash, sane window
 }
 
 }  // namespace

@@ -14,12 +14,12 @@ TEST(Topology, ChainHasHopsPlusOneNodes) {
   EXPECT_EQ(ids.size(), 5u);
   EXPECT_EQ(net.size(), 5u);
   // 250 m spacing: consecutive nodes in range, non-consecutive not.
-  double d01 = distance_m(net.node(0).device().phy().position(),
-                          net.node(1).device().phy().position());
-  double d02 = distance_m(net.node(0).device().phy().position(),
-                          net.node(2).device().phy().position());
-  EXPECT_DOUBLE_EQ(d01, 250.0);
-  EXPECT_DOUBLE_EQ(d02, 500.0);
+  Meters d01 = distance(net.node(0).device().phy().position(),
+                        net.node(1).device().phy().position());
+  Meters d02 = distance(net.node(0).device().phy().position(),
+                        net.node(2).device().phy().position());
+  EXPECT_DOUBLE_EQ(d01.value(), 250.0);
+  EXPECT_DOUBLE_EQ(d02.value(), 500.0);
 }
 
 TEST(Topology, FourHopCrossHasNineNodes) {
@@ -57,8 +57,8 @@ TEST(Table51, DefaultParametersMatchThePaper) {
   // Table 5.1: link bandwidth 2 Mbps, transmission range 250 m, 802.11 MAC,
   // 50-packet drop-tail IFQ, AODV routing.
   PhyParams phy;
-  EXPECT_EQ(phy.data_rate_bps, 2'000'000u);
-  EXPECT_DOUBLE_EQ(phy.rx_range_m, 250.0);
+  EXPECT_EQ(phy.data_rate, BitsPerSecond(2'000'000));
+  EXPECT_DOUBLE_EQ(phy.rx_range.value(), 250.0);
   NodeConfig node;
   EXPECT_EQ(node.ifq_capacity, 50u);
   MacParams mac;
@@ -128,8 +128,8 @@ TEST(ExperimentApi, ThroughputComputedOverFlowLifetime) {
   cfg.flows.push_back(
       {TcpVariant::kNewReno, 0, 1, SimTime::from_seconds(5.0), 8});
   auto res = run_experiment(cfg);
-  EXPECT_DOUBLE_EQ(res.flows[0].duration_s, 5.0);
-  EXPECT_GT(res.flows[0].throughput_bps, 0.0);
+  EXPECT_DOUBLE_EQ(res.flows[0].duration.value(), 5.0);
+  EXPECT_GT(res.flows[0].throughput, BitsPerSecond(0.0));
 }
 
 TEST(ExperimentApi, AggregateHelpers) {
@@ -141,7 +141,7 @@ TEST(ExperimentApi, AggregateHelpers) {
   auto res = run_experiment(cfg);
   auto thr = res.flow_throughputs();
   ASSERT_EQ(thr.size(), 2u);
-  EXPECT_DOUBLE_EQ(res.total_throughput_bps(), thr[0] + thr[1]);
+  EXPECT_DOUBLE_EQ(res.total_throughput().value(), thr[0] + thr[1]);
 }
 
 TEST(ExperimentApiDeath, RejectsEmptyFlows) {

@@ -45,36 +45,36 @@ TEST(Fairness, BoundedBetweenOneOverNAndOne) {
 
 TEST(CwndTracerTest, StepInterpolation) {
   CwndTracer t;
-  EXPECT_DOUBLE_EQ(t.value_at(1.0), 0.0);  // empty: zero everywhere
-  t.add(1.0, 2.0);
-  t.add(3.0, 5.0);
-  t.add(3.0, 6.0);  // same-instant update: last write wins
-  EXPECT_DOUBLE_EQ(t.value_at(0.5), 0.0);
-  EXPECT_DOUBLE_EQ(t.value_at(1.0), 2.0);
-  EXPECT_DOUBLE_EQ(t.value_at(2.9), 2.0);
-  EXPECT_DOUBLE_EQ(t.value_at(3.0), 6.0);
-  EXPECT_DOUBLE_EQ(t.value_at(100.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(1.0)), 0.0);  // empty: zero everywhere
+  t.add(Seconds(1.0), 2.0);
+  t.add(Seconds(3.0), 5.0);
+  t.add(Seconds(3.0), 6.0);  // same-instant update: last write wins
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(1.0)), 2.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(2.9)), 2.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(3.0)), 6.0);
+  EXPECT_DOUBLE_EQ(t.value_at(Seconds(100.0)), 6.0);
 }
 
 TEST(ThroughputSamplerTest, BinsAccumulateBits) {
   ThroughputSampler s(SimTime::from_seconds(1.0), /*payload_bytes=*/1000);
   EXPECT_TRUE(s.series().empty());
-  s.record(0.2, 4000);
-  s.record(0.9, 4000);
-  s.record(1.5, 2000);
+  s.record(Seconds(0.2), 4000);
+  s.record(Seconds(0.9), 4000);
+  s.record(Seconds(1.5), 2000);
   TimeSeries ts = s.series();
   ASSERT_EQ(ts.size(), 2u);
-  EXPECT_DOUBLE_EQ(ts[0].t_s, 0.5);   // bin centres
+  EXPECT_DOUBLE_EQ(ts[0].t.value(), 0.5);  // bin centres
   EXPECT_DOUBLE_EQ(ts[0].value, 8000.0);  // bits/s over a 1 s bin
-  EXPECT_DOUBLE_EQ(ts[1].t_s, 1.5);
+  EXPECT_DOUBLE_EQ(ts[1].t.value(), 1.5);
   EXPECT_DOUBLE_EQ(ts[1].value, 2000.0);
   EXPECT_DOUBLE_EQ(s.total_bits(), 10000.0);
 }
 
 TEST(ThroughputSamplerTest, EmptyBinsReportZero) {
   ThroughputSampler s(SimTime::from_ms(500), 1460);
-  s.record(0.1, 100);
-  s.record(2.1, 100);
+  s.record(Seconds(0.1), 100);
+  s.record(Seconds(2.1), 100);
   TimeSeries ts = s.series();
   ASSERT_EQ(ts.size(), 5u);
   EXPECT_DOUBLE_EQ(ts[1].value, 0.0);

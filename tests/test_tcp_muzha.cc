@@ -13,7 +13,7 @@ TEST(TcpMuzhaTest, StartsInCongestionAvoidanceWithWindowTwo) {
   TcpHarness<TcpMuzha> h;
   h.start();
   // No slow start: the session begins with cwnd 2 in CA.
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 2.0);
   EXPECT_EQ(h.agent().next_seq(), 2);
 }
 
@@ -21,7 +21,7 @@ TEST(TcpMuzhaTest, ModerateAccelerationAddsOnePerRtt) {
   TcpHarness<TcpMuzha> h;
   h.start();
   h.ack(0, kDraiModerateAccel);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 3.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 3.0);
   EXPECT_EQ(h.agent().rate_adjustments(), 1u);
   EXPECT_EQ(h.agent().last_epoch_mrai(), kDraiModerateAccel);
 }
@@ -30,14 +30,14 @@ TEST(TcpMuzhaTest, AggressiveAccelerationDoublesPerRtt) {
   TcpHarness<TcpMuzha> h;
   h.start();
   h.ack(0, kDraiAggressiveAccel);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 4.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 4.0);
 }
 
 TEST(TcpMuzhaTest, StabilizeHoldsWindow) {
   TcpHarness<TcpMuzha> h;
   h.start();
   h.ack(0, kDraiStabilize);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 2.0);
 }
 
 TEST(TcpMuzhaTest, ModerateDecelerationSubtractsOne) {
@@ -45,7 +45,7 @@ TEST(TcpMuzhaTest, ModerateDecelerationSubtractsOne) {
   h.start();
   h.ack(0, kDraiModerateAccel);  // cwnd 3
   h.ack_each_up_to(h.agent().next_seq() - 1, kDraiModerateDecel);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 2.0);
 }
 
 TEST(TcpMuzhaTest, AggressiveDecelerationHalves) {
@@ -53,7 +53,7 @@ TEST(TcpMuzhaTest, AggressiveDecelerationHalves) {
   h.start();
   h.ack(0, kDraiAggressiveAccel);  // cwnd 4
   h.ack_each_up_to(h.agent().next_seq() - 1, kDraiAggressiveDecel);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 2.0);
 }
 
 TEST(TcpMuzhaTest, WindowNeverFallsBelowOne) {
@@ -62,7 +62,7 @@ TEST(TcpMuzhaTest, WindowNeverFallsBelowOne) {
   for (int i = 0; i < 6; ++i) {
     h.ack_each_up_to(h.agent().next_seq() - 1, kDraiAggressiveDecel);
   }
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
 }
 
 TEST(TcpMuzhaTest, AppliesMostConservativeMraiOfTheEpoch) {
@@ -75,7 +75,7 @@ TEST(TcpMuzhaTest, AppliesMostConservativeMraiOfTheEpoch) {
   h.ack(1, kDraiAggressiveAccel);
   h.ack(2, kDraiAggressiveDecel);
   h.ack_each_up_to(boundary, kDraiAggressiveAccel);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.5);  // 3 halved
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.5);  // 3 halved
 }
 
 TEST(TcpMuzhaTest, MarkedTripleDupAckHalvesAndEntersFF) {
@@ -84,10 +84,10 @@ TEST(TcpMuzhaTest, MarkedTripleDupAckHalvesAndEntersFF) {
   h.ack(0, kDraiAggressiveAccel);      // cwnd 4
   h.ack(1, kDraiAggressiveAccel);
   h.ack_each_up_to(5, kDraiModerateAccel);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(5, 3, /*marked=*/true);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before / 2.0);
   EXPECT_EQ(h.agent().marked_loss_events(), 1u);
   EXPECT_EQ(h.agent().unmarked_loss_events(), 0u);
   EXPECT_EQ(h.agent().retransmissions(), 1u);
@@ -98,10 +98,10 @@ TEST(TcpMuzhaTest, UnmarkedTripleDupAckRetransmitsWithoutSlowdown) {
   h.start();
   h.ack(0, kDraiAggressiveAccel);
   h.ack_each_up_to(4, kDraiModerateAccel);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(4, 3, /*marked=*/false);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);  // random loss: no reduction
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);  // random loss: no reduction
   EXPECT_EQ(h.agent().unmarked_loss_events(), 1u);
   EXPECT_EQ(h.agent().retransmissions(), 1u);
 }
@@ -117,10 +117,10 @@ TEST(TcpMuzhaTest, PartialAckInFFRetransmitsNextHole) {
   h.ack(6);  // partial
   EXPECT_TRUE(h.agent().in_recovery());
   EXPECT_EQ(h.agent().retransmissions(), retx + 1);
-  double cwnd_in_ff = h.agent().cwnd();
+  double cwnd_in_ff = h.agent().cwnd().value();
   h.ack(recover);  // full ACK: back to CA, window untouched
   EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), cwnd_in_ff);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), cwnd_in_ff);
 }
 
 TEST(TcpMuzhaTest, NoDraiAdjustmentsDuringFF) {
@@ -138,17 +138,17 @@ TEST(TcpMuzhaTest, TimeoutResetsWindowToOneAndStaysInCA) {
   TcpHarness<TcpMuzha> h;
   h.start();
   h.ack(0, kDraiAggressiveAccel);
-  ASSERT_GT(h.agent().cwnd(), 1.0);
+  ASSERT_GT(h.agent().cwnd().value(), 1.0);
   h.run_ms(4000);
   EXPECT_EQ(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
   EXPECT_FALSE(h.agent().in_recovery());
   // Recovery from the timeout is plain CA driven by router advice again —
   // the adjustment lands at the first post-timeout epoch boundary.
   std::int64_t first_unacked = h.agent().highest_ack() + 1;
   h.ack(first_unacked, kDraiModerateAccel);        // inside the epoch
   h.ack(first_unacked + 1, kDraiModerateAccel);    // crosses the boundary
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 2.0);
 }
 
 TEST(TcpMuzhaTest, LossDiscriminationOffTreatsAllLossAsCongestion) {
@@ -157,9 +157,9 @@ TEST(TcpMuzhaTest, LossDiscriminationOffTreatsAllLossAsCongestion) {
   h.start();
   h.ack(0, kDraiAggressiveAccel);
   h.ack_each_up_to(4, kDraiModerateAccel);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(4, 3, /*marked=*/false);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before / 2.0);
   EXPECT_EQ(h.agent().marked_loss_events(), 1u);
 }
 
@@ -179,10 +179,10 @@ TEST(TcpMuzhaTest, DupAcksBeyondThresholdKeepPipeFed) {
 
 TEST(TcpMuzhaTest, InitialCwndConfigurableAboveTwo) {
   TcpConfig cfg;
-  cfg.initial_cwnd = 4.0;
+  cfg.initial_cwnd = Segments(4.0);
   TcpHarness<TcpMuzha> h(cfg);
   h.start();
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 4.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 4.0);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ TEST(TcpBase, WindowCapRespected) {
   TcpHarness<TcpNewReno> h(cfg);
   h.start();
   h.ack_each_up_to(20);  // grow cwnd well past the cap
-  EXPECT_GT(h.agent().cwnd(), 4.0);
+  EXPECT_GT(h.agent().cwnd().value(), 4.0);
   // Outstanding segments never exceed window_.
   EXPECT_LE(h.agent().next_seq() - 1 - h.agent().highest_ack(), 4);
 }
@@ -59,11 +59,11 @@ TEST(TcpBase, RetransmissionTimeoutCollapsesWindow) {
   TcpHarness<TcpNewReno> h(cfg);
   h.start();
   h.ack_each_up_to(7);
-  ASSERT_GT(h.agent().cwnd(), 4.0);
+  ASSERT_GT(h.agent().cwnd().value(), 4.0);
   // No more ACKs: the RTO (initial 3 s) fires.
   h.run_ms(4000);
   EXPECT_EQ(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
   EXPECT_GE(h.agent().retransmissions(), 1u);
 }
 
@@ -111,7 +111,7 @@ TEST(TcpGrowth, SlowStartDoublesPerRtt) {
   h.start();
   // One ACK per segment: +1 each => after k ACKs, cwnd = 1 + k.
   h.ack_each_up_to(6);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 8.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 8.0);
 }
 
 TEST(TcpGrowth, CongestionAvoidanceIsLinear) {
@@ -124,7 +124,7 @@ TEST(TcpGrowth, CongestionAvoidanceIsLinear) {
   h.run_ms(4000);
   h.ack_each_up_to(10);
   // cwnd grew 1 -> 4 in slow start, then +1/cwnd per ACK beyond ssthresh.
-  double cwnd = h.agent().cwnd();
+  double cwnd = h.agent().cwnd().value();
   EXPECT_GT(cwnd, 4.0);
   EXPECT_LT(cwnd, 6.0);
 }
@@ -139,10 +139,10 @@ TEST(TcpTahoeTest, TripleDupAckRestartsSlowStart) {
   TcpHarness<TcpTahoe> h(cfg);
   h.start();
   h.ack_each_up_to(9);  // cwnd = 11
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(9, 3);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), before / 2.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), before / 2.0);
   EXPECT_EQ(h.agent().retransmissions(), 1u);
 }
 
@@ -158,16 +158,16 @@ TEST(TcpRenoTest, FastRecoveryHalvesAndInflates) {
   h.ack_each_up_to(9);  // cwnd 11
   h.dup_acks(9, 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), 5.5);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 8.5);  // ssthresh + 3
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), 5.5);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 8.5);  // ssthresh + 3
   EXPECT_EQ(h.agent().retransmissions(), 1u);
   // Additional dup ACKs inflate.
   h.dup_acks(9, 1);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 9.5);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 9.5);
   // The recovery-exiting ACK deflates to ssthresh.
   h.ack(h.agent().next_seq() - 1);
   EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 5.5);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 5.5);
 }
 
 TEST(TcpRenoTest, BelowThresholdDupAcksDoNothing) {
@@ -176,10 +176,10 @@ TEST(TcpRenoTest, BelowThresholdDupAcksDoNothing) {
   TcpHarness<TcpReno> h(cfg);
   h.start();
   h.ack_each_up_to(9);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(9, 2);
   EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), before);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);
   EXPECT_EQ(h.agent().retransmissions(), 0u);
 }
 
@@ -206,7 +206,7 @@ TEST(TcpNewRenoTest, PartialAckRetransmitsNextHoleWithoutExiting) {
   // Full ACK ends recovery and deflates to ssthresh.
   h.ack(recover);
   EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), h.agent().ssthresh());
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), h.agent().ssthresh().value());
 }
 
 TEST(TcpNewRenoTest, MultipleLossesRecoverWithoutTimeout) {
@@ -271,7 +271,7 @@ TEST(TcpSackTest, TimeoutClearsScoreboard) {
   h.run_ms(5000);
   EXPECT_GE(h.agent().timeouts(), 1u);
   EXPECT_EQ(h.agent().scoreboard_size(), 0u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,13 +297,13 @@ TEST(TcpVegasTest, SlowStartDoublesEveryOtherRtt) {
   VegasHarness h;
   h.start();
   h.run_ms(500);
-  double cwnd0 = h.agent().cwnd();  // 1
+  double cwnd0 = h.agent().cwnd().value();  // 1
   h.ack_rtt(0, 0.050);              // epoch 1 ends: grow epoch => x2
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), cwnd0 * 2);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), cwnd0 * 2);
   // Next epoch is a hold epoch even with headroom.
   h.ack_rtt(1, 0.050);
   h.ack_rtt(2, 0.050);  // crosses epoch boundary
-  EXPECT_DOUBLE_EQ(h.agent().cwnd(), cwnd0 * 2);
+  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), cwnd0 * 2);
 }
 
 TEST(TcpVegasTest, ExitsSlowStartWhenQueueingDetected) {
@@ -314,14 +314,14 @@ TEST(TcpVegasTest, ExitsSlowStartWhenQueueingDetected) {
   h.ack_rtt(1, 0.050);
   h.ack_rtt(2, 0.050);  // cwnd still 2 (hold epoch), cwnd 2... grows next
   h.ack_rtt(3, 0.050);
-  ASSERT_GE(h.agent().cwnd(), 4.0);
+  ASSERT_GE(h.agent().cwnd().value(), 4.0);
   // RTT doubles: diff = cwnd*(1-50/100) = cwnd/2 > gamma -> leave slow start.
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   for (std::int64_t s = h.agent().highest_ack() + 1; s <= 12; ++s) {
     h.ack_rtt(s, 0.100);
   }
-  EXPECT_LT(h.agent().cwnd(), before + 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh(), 2.0);  // CA from now on
+  EXPECT_LT(h.agent().cwnd().value(), before + 1.0);
+  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), 2.0);  // CA from now on
 }
 
 TEST(TcpVegasTest, CongestionAvoidanceNudgesWindow) {
@@ -331,24 +331,24 @@ TEST(TcpVegasTest, CongestionAvoidanceNudgesWindow) {
   // Drive into CA with a known base RTT.
   h.ack_rtt(0, 0.050);
   for (std::int64_t s = 1; s <= 12; ++s) h.ack_rtt(s, 0.100);
-  ASSERT_DOUBLE_EQ(h.agent().ssthresh(), 2.0);
-  double cwnd = h.agent().cwnd();
+  ASSERT_DOUBLE_EQ(h.agent().ssthresh().value(), 2.0);
+  double cwnd = h.agent().cwnd().value();
 
   // RTT back to base: diff ~ 0 < alpha => +1 at the next epoch boundary.
   std::int64_t upto = h.agent().highest_ack() + 8;
   for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
     h.ack_rtt(s, 0.050);
   }
-  EXPECT_GT(h.agent().cwnd(), cwnd);
+  EXPECT_GT(h.agent().cwnd().value(), cwnd);
 
   // Large queueing: diff > beta => -1 per epoch. The first boundary may
   // still contain old base-RTT samples, so give it several epochs.
-  double high = h.agent().cwnd();
+  double high = h.agent().cwnd().value();
   upto = h.agent().highest_ack() + 40;
   for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
     h.ack_rtt(s, 0.300);
   }
-  EXPECT_LT(h.agent().cwnd(), high);
+  EXPECT_LT(h.agent().cwnd().value(), high);
 }
 
 TEST(TcpVegasTest, LossReductionGentlerThanReno) {
@@ -359,10 +359,10 @@ TEST(TcpVegasTest, LossReductionGentlerThanReno) {
   h.ack_rtt(1, 0.050);
   h.ack_rtt(2, 0.050);
   h.ack_rtt(3, 0.050);
-  double before = h.agent().cwnd();
+  double before = h.agent().cwnd().value();
   h.dup_acks(h.agent().highest_ack(), 3);
   EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_NEAR(h.agent().cwnd(), std::max(before * 0.75, 2.0), 1e-9);
+  EXPECT_NEAR(h.agent().cwnd().value(), std::max(before * 0.75, 2.0), 1e-9);
 }
 
 }  // namespace

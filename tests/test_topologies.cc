@@ -5,50 +5,50 @@
 namespace muzha {
 namespace {
 
-double dist(Network& net, std::size_t a, std::size_t b) {
-  return distance_m(net.node(a).device().phy().position(),
-                    net.node(b).device().phy().position());
+Meters dist(Network& net, std::size_t a, std::size_t b) {
+  return distance(net.node(a).device().phy().position(),
+                  net.node(b).device().phy().position());
 }
 
 TEST(GridTopology, RowMajorLayout) {
   Network net(1);
-  auto ids = build_grid(net, 3, 4, 200.0);
+  auto ids = build_grid(net, 3, 4, Meters(200.0));
   ASSERT_EQ(ids.size(), 12u);
   // Node (r=1, c=2) sits at (400, 200).
   Position p = net.node(1 * 4 + 2).device().phy().position();
   EXPECT_DOUBLE_EQ(p.x, 400.0);
   EXPECT_DOUBLE_EQ(p.y, 200.0);
   // Horizontal and vertical neighbours are in decode range; diagonals not.
-  EXPECT_LE(dist(net, 0, 1), 250.0);
-  EXPECT_LE(dist(net, 0, 4), 250.0);
-  EXPECT_GT(dist(net, 0, 5), 250.0);
+  EXPECT_LE(dist(net, 0, 1), Meters(250.0));
+  EXPECT_LE(dist(net, 0, 4), Meters(250.0));
+  EXPECT_GT(dist(net, 0, 5), Meters(250.0));
 }
 
 TEST(GridTopology, SingleRowIsAChain) {
   Network net(1);
-  auto ids = build_grid(net, 1, 5, 250.0);
+  auto ids = build_grid(net, 1, 5, Meters(250.0));
   EXPECT_EQ(ids.size(), 5u);
-  EXPECT_DOUBLE_EQ(dist(net, 0, 4), 1000.0);
+  EXPECT_DOUBLE_EQ(dist(net, 0, 4).value(), 1000.0);
 }
 
 TEST(ParallelChainsTopology, ChainsInterfereButDoNotConnect) {
   Network net(1);
-  auto pc = build_parallel_chains(net, 4, 250.0, 300.0);
+  auto pc = build_parallel_chains(net, 4, Meters(250.0), Meters(300.0));
   ASSERT_EQ(pc.top.size(), 5u);
   ASSERT_EQ(pc.bottom.size(), 5u);
   // Vertically opposite nodes: 300 m apart — outside decode range (250),
   // inside carrier-sense range (550): pure interference coupling.
-  double d = dist(net, 0, 5);
-  EXPECT_GT(d, net.channel().params().rx_range_m);
-  EXPECT_LT(d, net.channel().params().cs_range_m);
+  Meters d = dist(net, 0, 5);
+  EXPECT_GT(d, net.channel().params().rx_range);
+  EXPECT_LT(d, net.channel().params().cs_range);
 }
 
 TEST(RandomTopology, ProducesConnectedGraph) {
   Network net(3);
-  auto ids = build_random_connected(net, 12, 800, 800);
+  auto ids = build_random_connected(net, 12, Meters(800), Meters(800));
   ASSERT_EQ(ids.size(), 12u);
   // Verify connectivity with a BFS over decode-range links.
-  double range = net.channel().params().rx_range_m;
+  Meters range = net.channel().params().rx_range;
   std::vector<bool> seen(12, false);
   std::vector<std::size_t> stack{0};
   seen[0] = true;
@@ -69,8 +69,8 @@ TEST(RandomTopology, ProducesConnectedGraph) {
 
 TEST(RandomTopology, DeterministicPerSeed) {
   Network a(9), b(9);
-  build_random_connected(a, 8, 600, 600);
-  build_random_connected(b, 8, 600, 600);
+  build_random_connected(a, 8, Meters(600), Meters(600));
+  build_random_connected(b, 8, Meters(600), Meters(600));
   for (std::size_t i = 0; i < 8; ++i) {
     Position pa = a.node(i).device().phy().position();
     Position pb = b.node(i).device().phy().position();
@@ -82,7 +82,7 @@ TEST(RandomTopology, DeterministicPerSeed) {
 TEST(RandomTopologyDeath, ImpossibleDensityAborts) {
   Network net(1);
   // 2 nodes in a 100 km arena: essentially never connected.
-  EXPECT_DEATH(build_random_connected(net, 2, 100000, 100000, 3),
+  EXPECT_DEATH(build_random_connected(net, 2, Meters(100000), Meters(100000), 3),
                "connected");
 }
 

@@ -1,0 +1,127 @@
+// Positive-side tests for the strong quantity types in sim/units.h: literal
+// and operator algebra, cross-dimension conversions, the checked
+// Seconds <-> SimTime bridge, and the Probability range DCHECK. The
+// negative side (expressions that must NOT compile) lives in
+// tests/compile_fail/.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "sim/units.h"
+
+namespace muzha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Static pins: zero-overhead claims, checked at compile time so a future
+// edit that adds a vtable, a second member, or a non-trivial ctor fails here.
+// ---------------------------------------------------------------------------
+
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(Bytes) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Segments>);
+static_assert(std::is_trivially_destructible_v<BitsPerSecond>);
+static_assert(!std::is_convertible_v<double, Meters>);    // explicit ctor
+static_assert(!std::is_convertible_v<double, Segments>);
+static_assert(!std::is_convertible_v<Meters, double>);    // no implicit out
+static_assert(std::is_same_v<Meters::rep, double>);
+static_assert(std::is_same_v<Bytes::rep, std::int64_t>);
+
+// Literal algebra is constexpr end to end.
+static_assert((250.0_m).value() == 250.0);
+static_assert((1.5_km).value() == 1500.0);
+static_assert((2_Mbps).value() == 2e6);
+static_assert((1500_B).value() == 1500);
+static_assert((1.0_s + 500.0_ms).value() == 1.5);
+static_assert((3.0_m / 1.5_s).value() == 2.0);      // -> MetersPerSecond
+static_assert((10_mps * 2.0_s).value() == 20.0);    // -> Meters
+static_assert(to_bits(100_B).value() == 800);
+static_assert(to_bytes(Bits(800)).value() == 100);
+static_assert((4.0_seg / 2.0_s).value() == 2.0);    // -> SegmentsPerSecond
+static_assert(2.0_m / 1.0_m == 2.0);                // ratio is dimensionless
+static_assert(500.0_m > 250.0_m);
+static_assert(-(3.0_m) == Meters(-3.0));
+
+TEST(Units, SameDimensionArithmetic) {
+  Meters d = 100.0_m;
+  d += 50.0_m;
+  d -= 25.0_m;
+  d *= 2.0;
+  d /= 5.0;
+  EXPECT_DOUBLE_EQ(d.value(), 50.0);
+  EXPECT_EQ(3 * 10.0_m, 30.0_m);
+  EXPECT_EQ(10.0_m * 3, 30.0_m);
+}
+
+TEST(Units, CrossDimensionConversions) {
+  // Propagation delay: 250 m at c.
+  Seconds prop = 250.0_m / MetersPerSecond(3.0e8);
+  EXPECT_DOUBLE_EQ(prop.value(), 250.0 / 3.0e8);
+  // Serialization delay: 1500 B at 2 Mbps = 6 ms.
+  Seconds ser = to_bits(1500_B) / 2_Mbps;
+  EXPECT_DOUBLE_EQ(ser.value(), 0.006);
+  // Window growth: 5 segments/s over 2 s.
+  EXPECT_DOUBLE_EQ((SegmentsPerSecond(5.0) * 2.0_s).value(), 10.0);
+  EXPECT_DOUBLE_EQ((2.0_s * SegmentsPerSecond(5.0)).value(), 10.0);
+}
+
+TEST(Units, PowerLogLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_milliwatts(0.0_dBm).value(), 1.0);
+  EXPECT_DOUBLE_EQ(to_milliwatts(20.0_dBm).value(), 100.0);
+  EXPECT_DOUBLE_EQ(to_dbm(1.0_mW).value(), 0.0);
+  EXPECT_NEAR(to_dbm(to_milliwatts(-17.3_dBm)).value(), -17.3, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Seconds <-> SimTime: the bridge between the floating model currency and
+// the integer-ns event clock must round-trip exactly at ns boundaries and
+// round half-away-from-zero off them (matching SimTime::from_seconds).
+// ---------------------------------------------------------------------------
+
+TEST(Units, SimTimeRoundTripAtNsBoundaries) {
+  EXPECT_EQ(to_sim_time(Seconds(0.0)), SimTime::zero());
+  EXPECT_EQ(to_sim_time(1.0_s), SimTime::from_seconds(1.0));
+  EXPECT_EQ(to_sim_time(0.000000001_s), SimTime::from_ns(1));
+  EXPECT_EQ(to_sim_time(Seconds(-1e-9)), SimTime::from_ns(-1));
+  // A SimTime representable in double converts back to the same tick count.
+  for (std::int64_t ns : {0L, 1L, 999L, 1'000'000L, 1'234'567'890L}) {
+    SimTime t = SimTime::from_ns(ns);
+    EXPECT_EQ(to_sim_time(to_seconds(t)), t) << ns << " ns";
+  }
+}
+
+TEST(Units, SimTimeRoundsLikeFromSeconds) {
+  // Sub-ns values round to the nearest tick, identically to the SimTime
+  // factory the rest of the simulator uses.
+  EXPECT_EQ(to_sim_time(Seconds(1.4e-9)), SimTime::from_seconds(1.4e-9));
+  EXPECT_EQ(to_sim_time(Seconds(1.6e-9)), SimTime::from_seconds(1.6e-9));
+  EXPECT_EQ(to_sim_time(Seconds(-1.6e-9)), SimTime::from_seconds(-1.6e-9));
+}
+
+TEST(Units, ProbabilityAcceptsUnitInterval) {
+  EXPECT_DOUBLE_EQ(Probability(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability(0.5).value(), 0.5);
+  EXPECT_DOUBLE_EQ(Probability(1.0).value(), 1.0);
+  EXPECT_LT(Probability(0.1), Probability(0.2));
+}
+
+#if MUZHA_DCHECK_ENABLED
+TEST(UnitsDeath, ProbabilityRejectsOutOfRange) {
+  EXPECT_DEATH(Probability(1.5), "probability");
+  EXPECT_DEATH(Probability(-0.1), "probability");
+}
+
+TEST(UnitsDeath, SimTimeConversionRejectsOverflowAndNan) {
+  EXPECT_DEATH(to_sim_time(Seconds(1e10)), "overflow");
+  EXPECT_DEATH(to_sim_time(Seconds(std::nan(""))), "non-finite");
+}
+#endif
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(Meters().value(), 0.0);
+  EXPECT_EQ(Bytes().value(), 0);
+  EXPECT_DOUBLE_EQ(Probability().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace muzha

@@ -27,7 +27,7 @@ TEST_P(VariantMatrix, DeliversOverThreeHopChain) {
   ExperimentResult res = run_experiment(cfg);
   const FlowResult& f = res.flows[0];
   EXPECT_GT(f.delivered, 0) << variant_name(GetParam());
-  EXPECT_GT(f.throughput_bps, 0.0) << variant_name(GetParam());
+  EXPECT_GT(f.throughput, BitsPerSecond(0.0)) << variant_name(GetParam());
   EXPECT_GE(f.packets_sent, static_cast<std::uint64_t>(f.delivered))
       << variant_name(GetParam());
 }

@@ -43,6 +43,11 @@ Rules (see DESIGN.md "Correctness tooling" for the catalog):
                      is UB.
   slicing            by-value parameter of a polymorphic class — copies the
                      base subobject and silently drops the derived state.
+  raw-unit-double    double/float variable, member or parameter whose name
+                     carries a unit suffix (_m, _s, _bps, _dbm, _mps, ...) —
+                     dimensioned quantities must use the strong types in
+                     src/sim/units.h (Meters, Seconds, BitsPerSecond, ...),
+                     which that file alone is exempt from.
 
 Suppressions (each must carry a one-line justification after the colon):
 
@@ -79,6 +84,7 @@ RULES = {
     "float-accum": "float-typed state: use double, single precision amplifies order sensitivity",
     "virtual-dtor": "polymorphic class without virtual destructor: deletion via base pointer is UB",
     "slicing": "by-value parameter of polymorphic type: slices off derived state",
+    "raw-unit-double": "unit-suffixed raw double: use the quantity types in sim/units.h",
     # Meta rules (not suppressible, no fixtures needed beyond the dedicated ones).
     "bad-suppression": "suppression without a justification",
     "unknown-rule": "suppression names an unknown rule id",
@@ -321,6 +327,16 @@ def find_unordered_names(code_lines: list[str]) -> set[str]:
 # Line rules
 # ---------------------------------------------------------------------------
 
+# raw-unit-double: a double/float declaration whose identifier ends in a
+# recognised unit suffix (optionally with a trailing member underscore). The
+# negative lookahead for '(' keeps conversion functions (`double to_ms()`)
+# out of scope — the rule targets stored or passed quantities. sim/units.h
+# itself is exempt: it is the one place allowed to name raw representations.
+RAW_UNIT_DOUBLE_RE = re.compile(
+    r"\b(?:double|float)\s+[&*]?\s*"
+    r"(\w+_(?:m|km|s|ms|us|mps|bps|kbps|mbps|pps|dbm|mw)_?)\b(?!\s*\()")
+RAW_UNIT_DOUBLE_EXEMPT = re.compile(r"(?:^|[\\/])src[\\/]sim[\\/]units\.h$")
+
 SIMPLE_LINE_RULES: list[tuple[str, re.Pattern[str], str]] = [
     ("banned-rand", re.compile(r"\b(?:std::)?rand\s*\(\s*\)"), "std::rand()"),
     ("banned-rand", re.compile(r"\bsrand\s*\("), "srand()"),
@@ -371,6 +387,14 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
         for rule, pat, what in SIMPLE_LINE_RULES:
             if pat.search(line):
                 raw.append(Finding(rel, idx, rule, f"{what}: {RULES[rule]}"))
+
+    # raw-unit-double: everywhere except the units header itself.
+    if not RAW_UNIT_DOUBLE_EXEMPT.search(rel):
+        for idx, line in enumerate(code_lines, start=1):
+            for m in RAW_UNIT_DOUBLE_RE.finditer(line):
+                raw.append(Finding(
+                    rel, idx, "raw-unit-double",
+                    f"'{m.group(1)}': {RULES['raw-unit-double']}"))
 
     # unordered-iter: iteration sites over names declared unordered here.
     unordered = find_unordered_names(code_lines)

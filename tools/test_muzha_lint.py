@@ -8,7 +8,7 @@ muzha_lint.lint_paths() over the fixture directory and diffs the actual
 (file, line, rule) triples against the markers — both missed findings and
 unexpected extras fail, so rule regressions AND false-positive regressions
 are caught. It also enforces the coverage floor: the fixtures must pin at
-least 8 distinct rule IDs, or the suite is no longer exercising the checker.
+least 9 distinct rule IDs, or the suite is no longer exercising the checker.
 
 Run directly (repo root is inferred) or via `ctest -R muzha_lint_fixtures`.
 """
@@ -23,7 +23,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import muzha_lint  # noqa: E402
 
 FIXTURE_DIR = os.path.join("tests", "lint_fixtures")
-MIN_DISTINCT_RULES = 8
+MIN_DISTINCT_RULES = 9
 MARKER_RE = re.compile(r"expect:\s*([\w-]+(?:\s*,\s*[\w-]+)*)")
 
 
