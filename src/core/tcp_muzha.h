@@ -32,6 +32,8 @@ class TcpMuzha : public TcpAgent {
 
   // --- Observability ------------------------------------------------------
   std::uint8_t last_epoch_mrai() const { return last_epoch_mrai_; }
+  // Most conservative MRAI heard so far in the epoch still in progress.
+  std::uint8_t pending_epoch_mrai() const { return epoch_mrai_; }
   std::uint64_t marked_loss_events() const { return marked_loss_events_; }
   std::uint64_t unmarked_loss_events() const { return unmarked_loss_events_; }
   std::uint64_t rate_adjustments() const { return rate_adjustments_; }

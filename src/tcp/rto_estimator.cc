@@ -14,12 +14,21 @@ void RtoEstimator::sample(SimTime rtt) {
     rttvar_ = rttvar_.scaled(0.75) + err.scaled(0.25);
     srtt_ = srtt_.scaled(0.875) + rtt.scaled(0.125);
   }
+  backoff_exponent_ = 0;
   rto_ = srtt_ + 4 * rttvar_;
   clamp();
 }
 
 void RtoEstimator::backoff() {
+  ++backoff_exponent_;
   rto_ = rto_ * 2;
+  clamp();
+}
+
+void RtoEstimator::reset_backoff() {
+  if (backoff_exponent_ == 0) return;
+  backoff_exponent_ = 0;
+  rto_ = has_sample_ ? srtt_ + 4 * rttvar_ : cfg_.initial_rto;
   clamp();
 }
 

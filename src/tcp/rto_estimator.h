@@ -23,10 +23,18 @@ class RtoEstimator {
   // Doubles the RTO after a retransmission timeout.
   void backoff();
 
+  // Forward progress (a new cumulative ACK): ends the backoff series and
+  // restores the RTO computed from the current srtt/rttvar estimate (or the
+  // initial RTO when no sample exists yet). No-op outside a backoff series.
+  void reset_backoff();
+
   SimTime rto() const { return rto_; }
   SimTime srtt() const { return srtt_; }
   SimTime rttvar() const { return rttvar_; }
   bool has_sample() const { return has_sample_; }
+  // Number of consecutive backoffs since the last sample or reset: the RTO
+  // is estimate * 2^backoff_exponent, saturated at max_rto.
+  int backoff_exponent() const { return backoff_exponent_; }
 
  private:
   void clamp();
@@ -36,6 +44,7 @@ class RtoEstimator {
   SimTime srtt_;
   SimTime rttvar_;
   bool has_sample_ = false;
+  int backoff_exponent_ = 0;
 };
 
 }  // namespace muzha

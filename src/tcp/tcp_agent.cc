@@ -6,6 +6,18 @@
 
 namespace muzha {
 
+const char* tcp_phase_name(TcpPhase p) {
+  switch (p) {
+    case TcpPhase::kSlowStart:
+      return "SlowStart";
+    case TcpPhase::kCongestionAvoidance:
+      return "CongestionAvoidance";
+    case TcpPhase::kFastRecovery:
+      return "FastRecovery";
+  }
+  return "?";
+}
+
 TcpAgent::TcpAgent(Simulator& sim, Node& node, TcpConfig cfg)
     : sim_(sim),
       node_(node),
@@ -108,6 +120,9 @@ void TcpAgent::receive(PacketPtr pkt) {
       std::erase_if(retx_seqs_,
                     [this](std::int64_t s) { return s <= highest_ack_; });
     }
+    // Forward progress ends any exponential-backoff series: the next RTO is
+    // taken from the estimate again, not from the doubled value.
+    rto_.reset_backoff();
 
     on_new_ack(h, newly_acked);
     manage_rtx_timer();

@@ -39,6 +39,17 @@ struct TcpConfig {
   int dupack_threshold = 3;
 };
 
+// Coarse congestion-control phase, derived from (in_recovery, cwnd vs
+// ssthresh). Variants without a slow-start phase (Muzha parks ssthresh at 0)
+// report kCongestionAvoidance whenever they are not in recovery.
+enum class TcpPhase : std::uint8_t {
+  kSlowStart,
+  kCongestionAvoidance,
+  kFastRecovery,
+};
+
+const char* tcp_phase_name(TcpPhase p);
+
 class TcpAgent : public Agent {
  public:
   TcpAgent(Simulator& sim, Node& node, TcpConfig cfg);
@@ -59,6 +70,12 @@ class TcpAgent : public Agent {
   const RtoEstimator& rto_estimator() const { return rto_; }
   const TcpConfig& config() const { return cfg_; }
   bool in_recovery() const { return in_recovery_; }
+  int dupacks() const { return dupacks_; }
+  TcpPhase phase() const {
+    if (in_recovery_) return TcpPhase::kFastRecovery;
+    return cwnd_ < ssthresh_ ? TcpPhase::kSlowStart
+                             : TcpPhase::kCongestionAvoidance;
+  }
 
   // Called on every congestion-window change (CWND traces, Figs 5.2-5.7).
   using CwndListener = std::function<void(SimTime, double)>;
@@ -85,7 +102,6 @@ class TcpAgent : public Agent {
   void retransmit(std::int64_t seq);
   void set_cwnd(Segments v);
   void set_ssthresh(Segments v) { ssthresh_ = v; }
-  int dupacks() const { return dupacks_; }
   int effective_window() const;
   std::int64_t outstanding() const { return t_seqno_ - 1 - highest_ack_; }
   // Standard slow-start / congestion-avoidance growth (Reno-style opencwnd).

@@ -26,6 +26,10 @@ class TcpVegas : public TcpAgent {
   Seconds base_rtt() const { return base_rtt_; }
   // Estimated backlog, in segments (dimensionless diff of the Vegas paper).
   double last_diff() const { return last_diff_; }
+  const VegasConfig& vegas_config() const { return vcfg_; }
+  // Whether the *next* slow-start epoch boundary doubles the window (slow
+  // start grows every other RTT).
+  bool slow_start_grow_epoch() const { return ss_grow_this_epoch_; }
 
  protected:
   void on_new_ack(const TcpHeader& h, std::int64_t newly_acked) override;
@@ -40,7 +44,6 @@ class TcpVegas : public TcpAgent {
   // Called when an epoch ends, after the window adjustment.
   virtual void on_epoch_reset() {}
 
-  const VegasConfig& vegas_config() const { return vcfg_; }
   Seconds epoch_rtt() const { return epoch_rtt_; }
 
  private:

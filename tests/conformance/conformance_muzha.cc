@@ -1,0 +1,110 @@
+// TCP Muzha conformance: router-assisted window control (Table 5.2 DRAI
+// ladder applied once per RTT epoch), the two-phase CA/FF machine of
+// Table 4.1, and Sec. 4.7's marked/unmarked loss discrimination.
+#include <gtest/gtest.h>
+
+#include "core/tcp_muzha.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+TEST(MuzhaConformance, StartsInCongestionAvoidanceWithWindowTwo) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    << ExpectSegment{.seq = 0} << ExpectSegment{.seq = 1}  //
+    << ExpectNoSegment{}                                   //
+    << ExpectCwnd{2.0}                       // no slow start (Sec. 4.8)
+    << ExpectSsthresh{0.0}                   // parked: CA is the only phase
+    << ExpectState{TcpPhase::kCongestionAvoidance};
+}
+
+TEST(MuzhaConformance, EpochAppliesMostConservativeMraiHeard) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    // First epoch ends immediately at ACK 0: moderate accel -> +1.
+    << InjectAck{.seq = 0, .drai = kDraiModerateAccel}  //
+    << ExpectCwnd{3.0} << ExpectLastMrai{kDraiModerateAccel}
+    // Next epoch runs to ACK 2. A stabilize heard mid-epoch pins the
+    // pending minimum even though a later ACK says aggressive accel.
+    << InjectAck{.seq = 1, .drai = kDraiStabilize}         //
+    << ExpectPendingMrai{kDraiStabilize} << ExpectCwnd{3.0}
+    << InjectAck{.seq = 2, .drai = kDraiAggressiveAccel}   //
+    << ExpectLastMrai{kDraiStabilize} << ExpectCwnd{3.0};  // min wins: hold
+}
+
+TEST(MuzhaConformance, DecelerationLevelsShrinkTheWindow) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    << InjectAck{.seq = 0, .drai = kDraiAggressiveAccel}  //
+    << ExpectCwnd{4.0}                                    // x2
+    // Epoch to ACK 2 hears moderate deceleration: -1.
+    << InjectAck{.seq = 1, .drai = kDraiModerateDecel}  //
+    << InjectAck{.seq = 2, .drai = kDraiModerateDecel}  //
+    << ExpectCwnd{3.0}
+    // Epoch to ACK 6 hears one aggressive deceleration among accels: x0.5.
+    << InjectAck{.seq = 3, .drai = kDraiAggressiveDecel}  //
+    << ExpectPendingMrai{kDraiAggressiveDecel}            //
+    << InjectAck{.seq = 4, .drai = kDraiAggressiveAccel}  //
+    << InjectAck{.seq = 5, .drai = kDraiAggressiveAccel}  //
+    << InjectAck{.seq = 6, .drai = kDraiAggressiveAccel}  //
+    << ExpectCwnd{1.5} << ExpectLastMrai{kDraiAggressiveDecel};
+}
+
+TEST(MuzhaConformance, UnmarkedTripleDupRetransmitsWithoutSlowingDown) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    << InjectAck{.seq = 0, .drai = kDraiAggressiveAccel}  //
+    << ExpectCwnd{4.0} << DrainSegments{}                 //
+    << InjectAck{.seq = 0} << InjectAck{.seq = 0}         //
+    << ExpectNoSegment{}                                  //
+    << InjectAck{.seq = 0}                                // random/link loss
+    << ExpectSegment{.seq = 1, .is_retx = true}           //
+    << ExpectCwnd{4.0}                                    // window untouched
+    << ExpectState{TcpPhase::kFastRecovery};
+}
+
+TEST(MuzhaConformance, MarkedTripleDupHalvesTheWindow) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    << InjectAck{.seq = 0, .drai = kDraiAggressiveAccel}  //
+    << ExpectCwnd{4.0} << DrainSegments{};
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 0, .ecn = true};  // router congestion mark
+  }
+  h << ExpectSegment{.seq = 1, .is_retx = true}  //
+    << ExpectCwnd{2.0}                           // congestion loss: halve
+    << ExpectState{TcpPhase::kFastRecovery};
+}
+
+TEST(MuzhaConformance, PartialAckRetransmitsHoleAndFullAckReturnsToCa) {
+  StepHarness<TcpMuzha> h;
+  h << Push{}
+    << InjectAck{.seq = 0, .drai = kDraiAggressiveAccel}  //
+    << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 0};
+  h << ExpectSegment{.seq = 1, .is_retx = true}  // recovery point is 4
+    << InjectAck{.seq = 2}                       // partial ACK
+    << ExpectSegment{.seq = 3, .is_retx = true}  //
+    << ExpectState{TcpPhase::kFastRecovery}      //
+    << InjectAck{.seq = 4}                       // full ACK
+    << ExpectState{TcpPhase::kCongestionAvoidance}
+    << ExpectCwnd{4.0}                           // no further window change
+    << ExpectPendingMrai{kDraiAggressiveAccel};  // epoch minimum reset
+}
+
+TEST(MuzhaConformance, TimeoutCollapsesToOneAndReentersCa) {
+  StepHarness<TcpMuzha> h;
+  h << Push{} << DrainSegments{}                 //
+    << Tick{Seconds(3.5)}                        // initial RTO is 3 s
+    << ExpectRtoBackoff{1}                       //
+    << ExpectCwnd{1.0}                           //
+    << ExpectState{TcpPhase::kCongestionAvoidance}  // never slow start
+    << ExpectSegment{.seq = 0, .is_retx = true}  // go-back-N resend
+    << ExpectNoSegment{};
+}
+
+}  // namespace
+}  // namespace muzha

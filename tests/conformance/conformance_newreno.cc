@@ -1,0 +1,75 @@
+// TCP NewReno conformance (RFC 3782): partial ACKs retransmit the next hole
+// and keep the sender in fast recovery until the recovery point is
+// cumulatively acknowledged.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_variants.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+template <class H>
+void ack_each(H& h, std::int64_t upto) {
+  for (std::int64_t s = 0; s <= upto; ++s) h << InjectAck{.seq = s};
+}
+
+// Grows to cwnd 11 with segments 10..20 outstanding, then enters recovery
+// via three duplicate ACKs (recovery point = 20).
+template <class H>
+void enter_recovery(H& h) {
+  h << Push{};
+  ack_each(h, 9);
+  h << ExpectCwnd{11.0} << ExpectNextSeq{21} << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << ExpectSsthresh{5.5} << ExpectCwnd{8.5}     //
+    << ExpectState{TcpPhase::kFastRecovery};
+}
+
+TEST(NewRenoConformance, PartialAckRetransmitsNextHoleAndStaysInRecovery) {
+  StepHarness<TcpNewReno> h;
+  enter_recovery(h);
+  h << InjectAck{.seq = 12}                      // partial: 3 newly acked
+    << ExpectSegment{.seq = 13, .is_retx = true} // next hole goes out now
+    << ExpectCwnd{6.5}                           // 8.5 - 3 acked + 1
+    << ExpectState{TcpPhase::kFastRecovery}      //
+    << ExpectNoSegment{};
+}
+
+TEST(NewRenoConformance, FullAckExitsRecoveryAndDeflatesToSsthresh) {
+  StepHarness<TcpNewReno> h;
+  enter_recovery(h);
+  h << InjectAck{.seq = 20}                      // recovery point reached
+    << ExpectState{TcpPhase::kCongestionAvoidance}
+    << ExpectCwnd{5.5}                           //
+    << ExpectSegment{.seq = 21, .is_retx = false};
+}
+
+TEST(NewRenoConformance, MultipleHolesRecoverWithoutTimeout) {
+  StepHarness<TcpNewReno> h;
+  enter_recovery(h);
+  h << InjectAck{.seq = 11}                      // hole at 12
+    << ExpectSegment{.seq = 12, .is_retx = true} << ExpectCwnd{7.5}
+    << InjectAck{.seq = 13}                      // hole at 14
+    << ExpectSegment{.seq = 14, .is_retx = true} << ExpectCwnd{6.5}
+    << InjectAck{.seq = 15}                      // hole at 16
+    << ExpectSegment{.seq = 16, .is_retx = true} << ExpectCwnd{5.5}
+    << ExpectState{TcpPhase::kFastRecovery}      //
+    << InjectAck{.seq = 20}                      //
+    << ExpectState{TcpPhase::kCongestionAvoidance} << ExpectCwnd{5.5}
+    << ExpectRtoBackoff{0};                      // never fired the timer
+}
+
+TEST(NewRenoConformance, LinearGrowthResumesAfterRecovery) {
+  StepHarness<TcpNewReno> h;
+  enter_recovery(h);
+  h << InjectAck{.seq = 20} << ExpectCwnd{5.5} << DrainSegments{}  //
+    << InjectAck{.seq = 21}                                        //
+    << ExpectCwnd{5.5 + 1.0 / 5.5};
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,65 @@
+// TCP Reno conformance: fast retransmit + fast recovery with window
+// inflation per duplicate ACK and deflation to ssthresh on the
+// recovery-exiting ACK.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_variants.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+template <class H>
+void ack_each(H& h, std::int64_t upto) {
+  for (std::int64_t s = 0; s <= upto; ++s) h << InjectAck{.seq = s};
+}
+
+TEST(RenoConformance, TripleDupAckHalvesAndInflatesByThreshold) {
+  StepHarness<TcpReno> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11, next_seq 21, segments 10..20 outstanding
+  h << ExpectCwnd{11.0} << ExpectNextSeq{21} << DrainSegments{}  //
+    << InjectAck{.seq = 9} << InjectAck{.seq = 9}                //
+    << ExpectNoSegment{}                                         //
+    << InjectAck{.seq = 9}                                       //
+    << ExpectSegment{.seq = 10, .is_retx = true}                 //
+    << ExpectSsthresh{5.5}                                       //
+    << ExpectCwnd{8.5}                 // ssthresh + 3 dup ACKs
+    << ExpectState{TcpPhase::kFastRecovery};
+}
+
+TEST(RenoConformance, InflationReleasesNewDataOncePipeDrains) {
+  StepHarness<TcpReno> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << ExpectSegment{.seq = 10, .is_retx = true} << ExpectCwnd{8.5};
+  // Each further dup ACK inflates by one; the effective window reaches the
+  // pipe (11 outstanding) only after four more, releasing exactly seq 21.
+  h << InjectAck{.seq = 9} << ExpectCwnd{9.5} << ExpectNoSegment{}    //
+    << InjectAck{.seq = 9} << ExpectCwnd{10.5} << ExpectNoSegment{}   //
+    << InjectAck{.seq = 9} << ExpectCwnd{11.5} << ExpectNoSegment{}   //
+    << InjectAck{.seq = 9} << ExpectCwnd{12.5}                        //
+    << ExpectSegment{.seq = 21, .is_retx = false}                     //
+    << ExpectNoSegment{};
+}
+
+TEST(RenoConformance, RecoveryExitDeflatesToSsthreshThenGrowsLinearly) {
+  StepHarness<TcpReno> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << InjectAck{.seq = 20}                      // any new ACK exits recovery
+    << ExpectState{TcpPhase::kCongestionAvoidance}
+    << ExpectCwnd{5.5}                           // deflate to ssthresh
+    << DrainSegments{}                           //
+    << InjectAck{.seq = 21}                      //
+    << ExpectCwnd{5.5 + 1.0 / 5.5};              // CA: +1/cwnd per ACK
+}
+
+}  // namespace
+}  // namespace muzha

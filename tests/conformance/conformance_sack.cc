@@ -1,0 +1,91 @@
+// TCP SACK conformance (RFC 3517 style): scoreboard absorption, pipe-gated
+// hole retransmission in ascending order, and scoreboard teardown on both
+// recovery exit and timeout.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_variants.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+template <class H>
+void ack_each(H& h, std::int64_t upto) {
+  for (std::int64_t s = 0; s <= upto; ++s) h << InjectAck{.seq = s};
+}
+
+TEST(SackConformance, PipeEstimateGatesTheRetransmission) {
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11, segments 10..20 outstanding
+  h << ExpectCwnd{11.0} << DrainSegments{}
+    // First dup ACK carries SACK blocks: scoreboard fills, nothing sent.
+    << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}}  //
+    << ExpectSackScoreboard{3} << ExpectNoSegment{}    //
+    << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}}  //
+    << ExpectNoSegment{}
+    // Third dup enters recovery: pipe = 11 outstanding - 3 sacked - 1 = 7,
+    // which is above cwnd 5.5, so the hole is NOT retransmitted yet.
+    << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}}         //
+    << ExpectSsthresh{5.5} << ExpectCwnd{5.5}                 //
+    << ExpectState{TcpPhase::kFastRecovery} << ExpectNoSegment{}
+    << InjectAck{.seq = 9} << ExpectNoSegment{}               // pipe 6
+    << InjectAck{.seq = 9}                                    // pipe 5 < 5.5
+    << ExpectSegment{.seq = 10, .is_retx = true}              //
+    << ExpectNoSegment{};
+}
+
+TEST(SackConformance, HolesRetransmitInAscendingSequenceOrder) {
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{}
+    << InjectAck{.seq = 9, .sack_blocks = {{11, 20}}}  //
+    << ExpectSackScoreboard{9} << ExpectNoSegment{}    //
+    << InjectAck{.seq = 9, .sack_blocks = {{11, 20}}}  //
+    << ExpectNoSegment{}
+    // Recovery entry: pipe = 11 - 9 - 1 = 1, well under cwnd 5.5, so both
+    // holes (10 and 20) go out immediately, lowest first.
+    << InjectAck{.seq = 9, .sack_blocks = {{11, 20}}}  //
+    << ExpectSegment{.seq = 10, .is_retx = true}       //
+    << ExpectSegment{.seq = 20, .is_retx = true}       //
+    << ExpectNoSegment{};
+}
+
+TEST(SackConformance, FullAckClearsScoreboardAndDeflates) {
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}};
+  }
+  h << ExpectSackScoreboard{3} << ExpectState{TcpPhase::kFastRecovery}
+    << InjectAck{.seq = 20}                          // full ACK
+    << ExpectSackScoreboard{0} << ExpectCwnd{5.5}    //
+    << ExpectState{TcpPhase::kCongestionAvoidance}   //
+    << ExpectSegment{.seq = 21, .is_retx = false};
+}
+
+TEST(SackConformance, TimeoutClearsScoreboardAndCollapsesWindow) {
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}};
+  }
+  h << ExpectSackScoreboard{3} << ExpectNoSegment{}  // pipe still too full
+    << Tick{Seconds(3.5)}                            // initial RTO is 3 s
+    << ExpectRtoBackoff{1}                           //
+    << ExpectSackScoreboard{0}                       //
+    << ExpectCwnd{1.0}                               //
+    << ExpectState{TcpPhase::kSlowStart}             //
+    << ExpectSegment{.seq = 10, .is_retx = true}     // go-back-N resend
+    << ExpectNoSegment{};
+}
+
+}  // namespace
+}  // namespace muzha

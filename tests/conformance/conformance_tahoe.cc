@@ -1,0 +1,75 @@
+// TCP Tahoe conformance: fast retransmit followed by a slow-start restart
+// (no fast recovery), pinned cycle-exactly with the step DSL.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_variants.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+// Grows the window by acking segments 0..upto one at a time.
+template <class H>
+void ack_each(H& h, std::int64_t upto) {
+  for (std::int64_t s = 0; s <= upto; ++s) h << InjectAck{.seq = s};
+}
+
+TEST(TahoeConformance, SlowStartSendsTwoSegmentsPerAck) {
+  StepHarness<TcpTahoe> h;
+  h << Push{}                                      //
+    << ExpectSegment{.seq = 0, .is_retx = false}   // initial window of one
+    << ExpectNoSegment{}                           //
+    << ExpectState{TcpPhase::kSlowStart}           //
+    << InjectAck{.seq = 0}                         //
+    << ExpectCwnd{2.0}                             // +1 per ACK
+    << ExpectSegment{.seq = 1} << ExpectSegment{.seq = 2}
+    << ExpectNoSegment{}                           //
+    << InjectAck{.seq = 1}                         //
+    << ExpectCwnd{3.0}                             //
+    << ExpectSegment{.seq = 3} << ExpectSegment{.seq = 4}
+    << ExpectNoSegment{};
+}
+
+TEST(TahoeConformance, TripleDupAckRetransmitsAndRestartsSlowStart) {
+  StepHarness<TcpTahoe> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11, segments 10..20 outstanding
+  h << ExpectCwnd{11.0} << DrainSegments{}        //
+    << InjectAck{.seq = 9} << InjectAck{.seq = 9} // two dups: quiet
+    << ExpectDupacks{2} << ExpectNoSegment{}      //
+    << InjectAck{.seq = 9}                        // third: fast retransmit
+    << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << ExpectCwnd{1.0}                            // no fast recovery
+    << ExpectSsthresh{5.5}                        // cwnd / 2
+    << ExpectState{TcpPhase::kFastRecovery}       //
+    << InjectAck{.seq = 20}                       // recovery point reached
+    << ExpectState{TcpPhase::kSlowStart}          // restart from slow start
+    << ExpectCwnd{2.0};
+}
+
+TEST(TahoeConformance, TimeoutCollapsesWindowAndGoesBackN) {
+  StepHarness<TcpTahoe> h;
+  h << Push{}                                     //
+    << ExpectSegment{.seq = 0}                    //
+    << Tick{Seconds(3.5)}                         // initial RTO is 3 s
+    << ExpectRtoBackoff{1}                        //
+    << ExpectCwnd{1.0}                            //
+    << ExpectSsthresh{2.0}                        // max(cwnd/2, 2)
+    << ExpectSegment{.seq = 0, .is_retx = true}   // go-back-N resend
+    << ExpectNoSegment{};
+}
+
+TEST(TahoeConformance, BelowThresholdDupAcksLeaveStateUntouched) {
+  StepHarness<TcpTahoe> h;
+  h << Push{};
+  ack_each(h, 4);  // cwnd 6
+  h << ExpectCwnd{6.0} << DrainSegments{}         //
+    << InjectAck{.seq = 4} << InjectAck{.seq = 4} //
+    << ExpectCwnd{6.0} << ExpectNoSegment{}       //
+    << ExpectState{TcpPhase::kSlowStart};
+}
+
+}  // namespace
+}  // namespace muzha

@@ -1,0 +1,77 @@
+// TCP Vegas conformance: slow start doubling every other RTT, gamma-exit to
+// congestion avoidance, alpha/beta window nudges and the gentler (3/4) loss
+// reaction — all pinned cycle-exactly with RTT-stamped ACKs.
+#include <gtest/gtest.h>
+
+#include "tcp/tcp_vegas.h"
+#include "tests/harness/step_harness.h"
+
+namespace muzha {
+namespace {
+
+using namespace harness;
+
+constexpr Seconds kFastRtt{0.05};
+
+TEST(VegasConformance, SlowStartDoublesEveryOtherEpoch) {
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(1.0)}  // let now > 0 so ts_echo is valid
+    << ExpectSegment{.seq = 0} << ExpectState{TcpPhase::kSlowStart}
+    // Epoch boundaries land on ACKs 0, 1 and 3 (epoch end = next_seq at the
+    // previous boundary). Doubling happens on the 1st and 3rd boundaries.
+    << InjectAck{.seq = 0, .rtt = kFastRtt} << ExpectCwnd{2.0}  //
+    << InjectAck{.seq = 1, .rtt = kFastRtt} << ExpectCwnd{2.0}  // off epoch
+    << InjectAck{.seq = 2, .rtt = kFastRtt} << ExpectCwnd{2.0}  // mid epoch
+    << InjectAck{.seq = 3, .rtt = kFastRtt} << ExpectCwnd{4.0}  //
+    << ExpectBaseRtt{Seconds(0.05)};
+}
+
+TEST(VegasConformance, QueueingDelayEndsSlowStartBeforeLoss) {
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(1.0)};
+  for (std::int64_t s = 0; s <= 3; ++s) h << InjectAck{.seq = s, .rtt = kFastRtt};
+  h << ExpectCwnd{4.0}
+    // RTT inflates to 3x baseRTT: at the next epoch boundary (ACK 5),
+    // diff = 4 * (1 - 0.05/0.15) = 8/3 > gamma, so slow start ends with a
+    // cwnd/8 trim instead of a loss.
+    << InjectAck{.seq = 4, .rtt = Seconds(0.15)}        //
+    << InjectAck{.seq = 5, .rtt = Seconds(0.15)}        //
+    << ExpectVegasDiff{8.0 / 3.0}                       //
+    << ExpectCwnd{3.5}                                  // 4 - 4/8
+    << ExpectSsthresh{2.0}                              //
+    << ExpectState{TcpPhase::kCongestionAvoidance};
+}
+
+TEST(VegasConformance, CongestionAvoidanceNudgesWindowByOne) {
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(1.0)};
+  for (std::int64_t s = 0; s <= 3; ++s) h << InjectAck{.seq = s, .rtt = kFastRtt};
+  h << InjectAck{.seq = 4, .rtt = Seconds(0.15)}  //
+    << InjectAck{.seq = 5, .rtt = Seconds(0.15)} << ExpectCwnd{3.5}
+    // Fast epoch (diff 0 < alpha): +1 at the boundary (ACK 9).
+    << InjectAck{.seq = 6, .rtt = kFastRtt}  //
+    << InjectAck{.seq = 7, .rtt = kFastRtt}  //
+    << InjectAck{.seq = 8, .rtt = kFastRtt} << ExpectCwnd{3.5}
+    << InjectAck{.seq = 9, .rtt = kFastRtt} << ExpectCwnd{4.5}
+    // Slow epoch (diff = 4.5 * (1 - 0.05/0.3) = 3.75 > beta): -1 at the
+    // boundary (ACK 12).
+    << InjectAck{.seq = 10, .rtt = Seconds(0.3)}  //
+    << InjectAck{.seq = 11, .rtt = Seconds(0.3)} << ExpectCwnd{4.5}
+    << InjectAck{.seq = 12, .rtt = Seconds(0.3)} << ExpectCwnd{3.5}
+    << ExpectVegasDiff{3.75};
+}
+
+TEST(VegasConformance, LossReactionIsGentlerThanReno) {
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(1.0)};
+  for (std::int64_t s = 0; s <= 3; ++s) h << InjectAck{.seq = s, .rtt = kFastRtt};
+  h << ExpectCwnd{4.0} << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 3};
+  h << ExpectSegment{.seq = 4, .is_retx = true}  //
+    << ExpectSsthresh{3.0}                       // 3/4 of cwnd, not 1/2
+    << ExpectCwnd{3.0}                           //
+    << ExpectState{TcpPhase::kFastRecovery};
+}
+
+}  // namespace
+}  // namespace muzha

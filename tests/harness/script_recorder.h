@@ -1,0 +1,60 @@
+// Executed-script recorder behind the conformance step DSL (see
+// DESIGN.md "Conformance harness").
+//
+// Every step a harness executes appends one line to the script. When an
+// expectation fails, the whole executed script is printed with the failing
+// step highlighted — the CS144 diagnostic model: the assertion message *is*
+// the reproduction recipe, so a red test names the exact cycle that
+// diverged, not just the final mismatched number.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace muzha {
+namespace harness {
+
+class ScriptRecorder {
+ public:
+  // Called by the harness before a step runs.
+  void begin_step(SimTime now, std::string description) {
+    std::ostringstream line;
+    line << "step " << script_.size() + 1 << "  t=" << now.to_seconds()
+         << "s  " << description;
+    script_.push_back(line.str());
+  }
+
+  // Fails the current (= last recorded) step: emits one non-fatal gtest
+  // failure carrying the full executed script, and latches `failed()` so the
+  // harness skips every subsequent step.
+  void fail_current_step(const std::string& why) {
+    ADD_FAILURE() << format_failure(why);
+    failed_ = true;
+  }
+
+  bool failed() const { return failed_; }
+  std::size_t steps_executed() const { return script_.size(); }
+
+  std::string format_failure(const std::string& why) const {
+    std::ostringstream out;
+    out << "conformance step script failed:\n";
+    for (std::size_t i = 0; i < script_.size(); ++i) {
+      const bool failing = (i + 1 == script_.size());
+      out << (failing ? ">>> " : "    ") << script_[i] << "\n";
+    }
+    out << "      " << why;
+    return out.str();
+  }
+
+ private:
+  std::vector<std::string> script_;
+  bool failed_ = false;
+};
+
+}  // namespace harness
+}  // namespace muzha

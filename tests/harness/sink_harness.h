@@ -1,0 +1,191 @@
+// Receiver-side step DSL: drives a TcpSink with injected data segments and
+// expects the ACK stream it emits (delayed-ACK coalescing, duplicate ACKs on
+// holes, cumulative-ACK values).
+//
+// The mirror image of step_harness.h: data segments are injected directly
+// into the sink, while its ACKs travel over the real channel back to the
+// source node where a capture agent records them — so clock ticks are part
+// of every script, exactly like the delayed-ACK timers they exercise.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "net/node.h"
+#include "phy/channel.h"
+#include "routing/static_routing.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_sink.h"
+#include "tests/harness/script_recorder.h"
+
+namespace muzha {
+namespace harness {
+
+class SinkStepHarness {
+ public:
+  explicit SinkStepHarness(TcpSink::Config sc = default_config())
+      : channel_(sim_, PhyParams{}) {
+    src_ = std::make_unique<Node>(sim_, channel_, 0, Position{0, 0});
+    dst_ = std::make_unique<Node>(sim_, channel_, 1, Position{200, 0});
+    auto rs = std::make_unique<StaticRouting>(*src_);
+    rs->add_route(1, 1);
+    src_->set_routing(std::move(rs));
+    auto rd = std::make_unique<StaticRouting>(*dst_);
+    rd->add_route(0, 0);
+    dst_->set_routing(std::move(rd));
+    src_->register_agent(1000, collector_);
+
+    sc.port = 2000;
+    sink_ = std::make_unique<TcpSink>(sim_, *dst_, sc);
+    sink_->start();
+  }
+
+  static TcpSink::Config default_config() {
+    TcpSink::Config sc;
+    sc.delayed_acks = true;
+    sc.delack_timeout = SimTime::from_ms(100);
+    return sc;
+  }
+
+  TcpSink& sink() { return *sink_; }
+  Simulator& sim() { return sim_; }
+
+  void advance(Seconds dt) { sim_.run_until(sim_.now() + to_sim_time(dt)); }
+
+  void deliver(std::int64_t seq) {
+    PacketPtr p = src_->new_packet(1, IpProto::kTcp, 1500);
+    TcpHeader h;
+    h.seqno = seq;
+    h.src_port = 1000;
+    h.dst_port = 2000;
+    p->l4 = h;
+    sink_->receive(std::move(p));
+  }
+
+  bool ack_pending() const { return !collector_.acks.empty(); }
+  std::size_t acks_pending() const { return collector_.acks.size(); }
+  std::int64_t pop_ack() {
+    std::int64_t seq = collector_.acks.front();
+    collector_.acks.pop_front();
+    return seq;
+  }
+  std::string pending_summary() const {
+    std::ostringstream out;
+    out << collector_.acks.size() << " ACK(s) pending: [";
+    for (std::size_t i = 0; i < collector_.acks.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << collector_.acks[i];
+    }
+    out << "]";
+    return out.str();
+  }
+
+  template <class StepT>
+  SinkStepHarness& execute(const StepT& step) {
+    if (recorder_.failed()) return *this;
+    recorder_.begin_step(sim_.now(), step.describe());
+    step.apply(*this);
+    return *this;
+  }
+
+  template <class StepT>
+  SinkStepHarness& operator<<(const StepT& step) {
+    return execute(step);
+  }
+
+  void step_fail(const std::string& why) { recorder_.fail_current_step(why); }
+  const ScriptRecorder& recorder() const { return recorder_; }
+
+ private:
+  class AckCollector : public Agent {
+   public:
+    void receive(PacketPtr pkt) override {
+      acks.push_back(pkt->tcp().seqno);
+    }
+    std::deque<std::int64_t> acks;
+  };
+
+  Simulator sim_{1};
+  Channel channel_;
+  std::unique_ptr<Node> src_, dst_;
+  std::unique_ptr<TcpSink> sink_;
+  AckCollector collector_;
+  ScriptRecorder recorder_;
+};
+
+// ---------------------------------------------------------------------------
+// Sink-side steps (Tick from step_harness.h works here too)
+// ---------------------------------------------------------------------------
+
+// Injects one data segment into the sink.
+struct InjectData {
+  std::int64_t seq = 0;
+  std::string describe() const {
+    std::ostringstream out;
+    out << "InjectData{seq=" << seq << "}";
+    return out.str();
+  }
+  template <class H>
+  void apply(H& h) const {
+    h.deliver(seq);
+  }
+};
+
+// Consumes the oldest ACK the sink has emitted and checks its cumulative
+// ackno.
+struct ExpectAck {
+  std::int64_t seq = 0;
+  std::string describe() const {
+    std::ostringstream out;
+    out << "ExpectAck{seq=" << seq << "}";
+    return out.str();
+  }
+  template <class H>
+  void apply(H& h) const {
+    if (!h.ack_pending()) {
+      h.step_fail("no ACK was sent");
+      return;
+    }
+    std::int64_t got = h.pop_ack();
+    if (got != seq) {
+      std::ostringstream why;
+      why << "ACK carries seq " << got << ", expected " << seq;
+      h.step_fail(why.str());
+    }
+  }
+};
+
+// The sink must not have emitted any unconsumed ACK (e.g. a withheld
+// delayed ACK).
+struct ExpectNoAck {
+  std::string describe() const { return "ExpectNoAck"; }
+  template <class H>
+  void apply(H& h) const {
+    if (h.ack_pending()) h.step_fail(h.pending_summary());
+  }
+};
+
+// In-order delivery count reported by the sink.
+struct ExpectDelivered {
+  std::int64_t count = 0;
+  std::string describe() const {
+    std::ostringstream out;
+    out << "ExpectDelivered{" << count << "}";
+    return out.str();
+  }
+  template <class H>
+  void apply(H& h) const {
+    std::int64_t got = h.sink().delivered();
+    if (got != count) {
+      std::ostringstream why;
+      why << "sink delivered " << got << " segment(s), expected " << count;
+      h.step_fail(why.str());
+    }
+  }
+};
+
+}  // namespace harness
+}  // namespace muzha

@@ -1,100 +1,53 @@
-// Delayed-ACK receiver behaviour (RFC 1122 / RFC 5681).
+// Delayed-ACK receiver behaviour (RFC 1122 / RFC 5681), expressed as
+// receiver-side step scripts: inject data segments, expect the ACK stream.
 #include <gtest/gtest.h>
 
-#include "net/node.h"
-#include "phy/channel.h"
-#include "routing/static_routing.h"
-#include "tcp/tcp_sink.h"
+#include "tests/harness/sink_harness.h"
+#include "tests/harness/step_harness.h"
 
 namespace muzha {
 namespace {
 
-class AckCollector : public Agent {
- public:
-  void receive(PacketPtr pkt) override { acks.push_back(std::move(pkt)); }
-  std::vector<PacketPtr> acks;
-};
+using namespace harness;
 
-class DelayedAckTest : public ::testing::Test {
- protected:
-  DelayedAckTest() : channel(sim, PhyParams{}) {
-    src = std::make_unique<Node>(sim, channel, 0, Position{0, 0});
-    dst = std::make_unique<Node>(sim, channel, 1, Position{200, 0});
-    auto rs = std::make_unique<StaticRouting>(*src);
-    rs->add_route(1, 1);
-    src->set_routing(std::move(rs));
-    auto rd = std::make_unique<StaticRouting>(*dst);
-    rd->add_route(0, 0);
-    dst->set_routing(std::move(rd));
-    src->register_agent(1000, acks);
-
-    TcpSink::Config sc;
-    sc.port = 2000;
-    sc.delayed_acks = true;
-    sc.delack_timeout = SimTime::from_ms(100);
-    sink = std::make_unique<TcpSink>(sim, *dst, sc);
-    sink->start();
-  }
-
-  void deliver(std::int64_t seq) {
-    PacketPtr p = src->new_packet(1, IpProto::kTcp, 1500);
-    TcpHeader h;
-    h.seqno = seq;
-    h.src_port = 1000;
-    h.dst_port = 2000;
-    p->l4 = h;
-    sink->receive(std::move(p));
-  }
-
-  void advance_ms(std::int64_t ms) {
-    sim.run_until(sim.now() + SimTime::from_ms(ms));
-  }
-
-  Simulator sim{1};
-  Channel channel;
-  std::unique_ptr<Node> src, dst;
-  std::unique_ptr<TcpSink> sink;
-  AckCollector acks;
-};
-
-TEST_F(DelayedAckTest, EverySecondSegmentAcked) {
-  deliver(0);
-  advance_ms(10);
-  EXPECT_EQ(acks.acks.size(), 0u);  // withheld
-  deliver(1);
-  advance_ms(10);
-  ASSERT_EQ(acks.acks.size(), 1u);  // one cumulative ACK for both
-  EXPECT_EQ(acks.acks[0]->tcp().seqno, 1);
-  EXPECT_EQ(sink->acks_delayed(), 1u);
+TEST(DelayedAckTest, EverySecondSegmentAcked) {
+  SinkStepHarness h;
+  h << InjectData{.seq = 0} << Tick{Seconds(0.01)}  //
+    << ExpectNoAck{}                                // withheld
+    << InjectData{.seq = 1} << Tick{Seconds(0.01)}  //
+    << ExpectAck{.seq = 1}                          // one cumulative ACK
+    << ExpectNoAck{};
+  EXPECT_EQ(h.sink().acks_delayed(), 1u);
 }
 
-TEST_F(DelayedAckTest, TimeoutFlushesWithheldAck) {
-  deliver(0);
-  advance_ms(150);  // past the 100 ms delack timeout
-  ASSERT_EQ(acks.acks.size(), 1u);
-  EXPECT_EQ(acks.acks[0]->tcp().seqno, 0);
+TEST(DelayedAckTest, TimeoutFlushesWithheldAck) {
+  SinkStepHarness h;
+  h << InjectData{.seq = 0}  //
+    << Tick{Seconds(0.15)}   // past the 100 ms delack timeout
+    << ExpectAck{.seq = 0}   //
+    << ExpectNoAck{};
 }
 
-TEST_F(DelayedAckTest, OutOfOrderArrivalAcksImmediately) {
-  deliver(0);
-  advance_ms(10);
-  ASSERT_EQ(acks.acks.size(), 0u);
-  deliver(2);  // hole: must ACK immediately (dup ACK), flushing the held one
-  advance_ms(10);
-  ASSERT_EQ(acks.acks.size(), 2u);
-  EXPECT_EQ(acks.acks[0]->tcp().seqno, 0);  // flushed withheld ACK
-  EXPECT_EQ(acks.acks[1]->tcp().seqno, 0);  // duplicate for the hole
+TEST(DelayedAckTest, OutOfOrderArrivalAcksImmediately) {
+  SinkStepHarness h;
+  h << InjectData{.seq = 0} << Tick{Seconds(0.01)}  //
+    << ExpectNoAck{}
+    // A hole must be ACKed immediately (dup ACK), flushing the held one.
+    << InjectData{.seq = 2} << Tick{Seconds(0.01)}  //
+    << ExpectAck{.seq = 0}                          // flushed withheld ACK
+    << ExpectAck{.seq = 0}                          // duplicate for the hole
+    << ExpectNoAck{};
 }
 
-TEST_F(DelayedAckTest, HalvesAckTrafficOnLongStreams) {
+TEST(DelayedAckTest, HalvesAckTrafficOnLongStreams) {
+  SinkStepHarness h;
   for (int i = 0; i < 40; ++i) {
-    deliver(i);
-    advance_ms(5);
+    h << InjectData{.seq = i} << Tick{Seconds(0.005)};
   }
-  advance_ms(200);  // flush any trailing withheld ACK
-  EXPECT_LE(sink->acks_sent(), 21u);
-  EXPECT_GE(sink->acks_sent(), 20u);
-  EXPECT_EQ(sink->delivered(), 40);
+  h << Tick{Seconds(0.2)}  // flush any trailing withheld ACK
+    << ExpectDelivered{40};
+  EXPECT_LE(h.sink().acks_sent(), 21u);
+  EXPECT_GE(h.sink().acks_sent(), 20u);
 }
 
 }  // namespace

@@ -58,6 +58,46 @@ TEST(RtoEstimator, MinRtoFloorRespected) {
   EXPECT_EQ(e.rto(), SimTime::from_ms(500));
 }
 
+TEST(RtoEstimator, BackoffExponentCountsConsecutiveTimeouts) {
+  RtoEstimator e;
+  EXPECT_EQ(e.backoff_exponent(), 0);
+  e.backoff();
+  e.backoff();
+  EXPECT_EQ(e.backoff_exponent(), 2);
+  // A fresh sample ends the series and recomputes the RTO from it.
+  e.sample(SimTime::from_ms(100));
+  EXPECT_EQ(e.backoff_exponent(), 0);
+  EXPECT_EQ(e.rto(), SimTime::from_ms(300));
+}
+
+TEST(RtoEstimator, ResetBackoffRestoresEstimate) {
+  RtoEstimator e;
+  e.sample(SimTime::from_ms(100));  // rto 300 ms
+  e.backoff();
+  e.backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_ms(1200));
+  e.reset_backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_ms(300));
+  EXPECT_EQ(e.backoff_exponent(), 0);
+}
+
+TEST(RtoEstimator, ResetBackoffWithoutSampleRestoresInitialRto) {
+  RtoEstimator e;
+  e.backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(6.0));
+  e.reset_backoff();
+  EXPECT_EQ(e.rto(), SimTime::from_seconds(3.0));
+}
+
+TEST(RtoEstimator, ResetBackoffIsNoOpOutsideASeries) {
+  RtoEstimator e;
+  e.sample(SimTime::from_ms(100));
+  e.sample(SimTime::from_ms(200));
+  SimTime before = e.rto();
+  e.reset_backoff();  // exponent 0: must not clobber the fresh estimate
+  EXPECT_EQ(e.rto(), before);
+}
+
 TEST(RtoEstimator, EwmaWeightsMatchRfc6298) {
   RtoEstimator e;
   e.sample(SimTime::from_ms(100));

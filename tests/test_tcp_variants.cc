@@ -1,101 +1,117 @@
+// Base TCP sender machinery and the four baseline variants, expressed as
+// expect/inject step scripts (tests/harness). Cycle-exact per-variant
+// conformance suites live in tests/conformance; this file covers base-class
+// behaviour (windowing, RTO, Karn, listeners) plus one script per variant.
 #include "tcp/tcp_variants.h"
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "tcp/tcp_vegas.h"
-#include "tests/tcp_test_harness.h"
+#include "tests/harness/step_harness.h"
 
 namespace muzha {
 namespace {
+
+using namespace harness;
+
+template <class H>
+void ack_each(H& h, std::int64_t upto) {
+  for (std::int64_t s = 0; s <= upto; ++s) h << InjectAck{.seq = s};
+}
 
 // ---------------------------------------------------------------------------
 // Base sender machinery (exercised through TcpNewReno)
 // ---------------------------------------------------------------------------
 
 TEST(TcpBase, StartSendsInitialWindow) {
-  TcpHarness<TcpNewReno> h;
-  h.start();
-  // initial cwnd 1 => exactly one segment outstanding.
-  EXPECT_EQ(h.agent().next_seq(), 1);
+  StepHarness<TcpNewReno> h;
+  h << Push{}                                     // initial cwnd 1
+    << ExpectSegment{.seq = 0, .is_retx = false}  //
+    << ExpectNoSegment{}                          //
+    << ExpectNextSeq{1};
   EXPECT_EQ(h.agent().packets_sent(), 1u);
 }
 
 TEST(TcpBase, WindowCapRespected) {
   TcpConfig cfg;
   cfg.window = 4;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(20);  // grow cwnd well past the cap
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 20);  // grow cwnd well past the cap
+  h << ExpectNextSeq{25};  // never more than window_ = 4 outstanding
   EXPECT_GT(h.agent().cwnd().value(), 4.0);
-  // Outstanding segments never exceed window_.
   EXPECT_LE(h.agent().next_seq() - 1 - h.agent().highest_ack(), 4);
 }
 
 TEST(TcpBase, MaxPacketsStopsTheSource) {
   TcpConfig cfg;
   cfg.max_packets = 5;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(4);
-  EXPECT_EQ(h.agent().next_seq(), 5);
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 3);
+  h << DrainSegments{}      //
+    << InjectAck{.seq = 4}  // the source is out of data
+    << ExpectNoSegment{}    //
+    << ExpectNextSeq{5};
   EXPECT_EQ(h.agent().packets_sent(), 5u);
 }
 
 TEST(TcpBase, CumulativeAckAdvancesPastHoles) {
   TcpConfig cfg;
   cfg.window = 16;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(3);
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 3);
   // A single ACK can acknowledge several segments at once.
-  std::int64_t before = h.agent().highest_ack();
-  h.ack(before + 3);
-  EXPECT_EQ(h.agent().highest_ack(), before + 3);
+  h << InjectAck{.seq = 6} << ExpectHighestAck{6};
 }
 
 TEST(TcpBase, RetransmissionTimeoutCollapsesWindow) {
   TcpConfig cfg;
   cfg.window = 16;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(7);
-  ASSERT_GT(h.agent().cwnd().value(), 4.0);
-  // No more ACKs: the RTO (initial 3 s) fires.
-  h.run_ms(4000);
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 7);  // cwnd 9, segments 8..16 outstanding
+  h << ExpectCwnd{9.0} << DrainSegments{}
+    // No more ACKs: the RTO (initial 3 s) fires.
+    << Tick{Seconds(4.0)}                        //
+    << ExpectRtoBackoff{1}                       //
+    << ExpectCwnd{1.0}                           //
+    << ExpectSegment{.seq = 8, .is_retx = true}  // go-back-N resend
+    << ExpectNoSegment{};
   EXPECT_EQ(h.agent().timeouts(), 1u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
-  EXPECT_GE(h.agent().retransmissions(), 1u);
 }
 
 TEST(TcpBase, RttSampleFeedsEstimator) {
-  TcpHarness<TcpNewReno> h;
-  h.start();
-  h.run_ms(50);
-  SimTime echo = h.sim().now() - SimTime::from_ms(40);
-  h.agent().receive(h.make_ack(0, 5, false, {}, echo));
-  EXPECT_TRUE(h.agent().rto_estimator().has_sample());
-  EXPECT_NEAR(h.agent().rto_estimator().srtt().to_seconds(), 0.040, 0.001);
+  StepHarness<TcpNewReno> h;
+  h << Push{} << Tick{Seconds(0.05)}             //
+    << InjectAck{.seq = 0, .rtt = Seconds(0.04)} //
+    << ExpectRtoHasSample{true}                  //
+    << ExpectSrtt{Seconds(0.04)};
 }
 
 TEST(TcpBase, KarnRuleSkipsRetransmittedSegments) {
   TcpConfig cfg;
   cfg.window = 8;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.run_ms(4000);  // timeout retransmits segment 0
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{}                                     //
+    << Tick{Seconds(4.0)}                         // timeout: segment 0 retx
+    << DrainSegments{}
+    // The ACK for a retransmitted segment is ambiguous: never sampled.
+    << InjectAck{.seq = 0, .rtt = Seconds(0.04)}  //
+    << ExpectRtoHasSample{false};
   ASSERT_GE(h.agent().retransmissions(), 1u);
-  SimTime echo = h.sim().now() - SimTime::from_ms(40);
-  h.agent().receive(h.make_ack(0, 5, false, {}, echo));
-  EXPECT_FALSE(h.agent().rto_estimator().has_sample());
 }
 
 TEST(TcpBase, CwndListenerFiresOnChange) {
-  TcpHarness<TcpNewReno> h;
+  StepHarness<TcpNewReno> h;
   std::vector<double> values;
   h.agent().set_cwnd_listener(
       [&](SimTime, double v) { values.push_back(v); });
-  h.start();
-  h.ack_each_up_to(3);
+  h << Push{};
+  ack_each(h, 3);
   ASSERT_GE(values.size(), 3u);
   EXPECT_LT(values.front(), values.back());
 }
@@ -104,29 +120,31 @@ TEST(TcpBase, CwndListenerFiresOnChange) {
 // Slow start / congestion avoidance (Reno-family growth)
 // ---------------------------------------------------------------------------
 
-TEST(TcpGrowth, SlowStartDoublesPerRtt) {
+TEST(TcpGrowth, SlowStartAddsOneSegmentPerAck) {
   TcpConfig cfg;
   cfg.window = 64;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  // One ACK per segment: +1 each => after k ACKs, cwnd = 1 + k.
-  h.ack_each_up_to(6);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 8.0);
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 6);  // +1 per ACK: cwnd = 1 + 7
+  h << ExpectCwnd{8.0} << ExpectState{TcpPhase::kSlowStart};
 }
 
 TEST(TcpGrowth, CongestionAvoidanceIsLinear) {
   TcpConfig cfg;
   cfg.window = 64;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(6);  // cwnd 8
-  // Force CA by crossing a timeout: ssthresh = 4, cwnd restarts at 1.
-  h.run_ms(4000);
-  h.ack_each_up_to(10);
-  // cwnd grew 1 -> 4 in slow start, then +1/cwnd per ACK beyond ssthresh.
-  double cwnd = h.agent().cwnd().value();
-  EXPECT_GT(cwnd, 4.0);
-  EXPECT_LT(cwnd, 6.0);
+  StepHarness<TcpNewReno> h(cfg);
+  h << Push{};
+  ack_each(h, 6);  // cwnd 8
+  h << DrainSegments{}
+    // Cross a timeout: ssthresh = cwnd/2 = 4, cwnd restarts at 1.
+    << Tick{Seconds(4.0)}                        //
+    << ExpectCwnd{1.0} << ExpectSsthresh{4.0}    //
+    << ExpectSegment{.seq = 7, .is_retx = true}  //
+    << InjectAck{.seq = 7} << InjectAck{.seq = 8} << InjectAck{.seq = 9}
+    << ExpectCwnd{4.0}                            // slow start up to ssthresh
+    << ExpectState{TcpPhase::kCongestionAvoidance}
+    << InjectAck{.seq = 10}                       //
+    << ExpectCwnd{4.25};                          // then +1/cwnd per ACK
 }
 
 // ---------------------------------------------------------------------------
@@ -134,15 +152,15 @@ TEST(TcpGrowth, CongestionAvoidanceIsLinear) {
 // ---------------------------------------------------------------------------
 
 TEST(TcpTahoeTest, TripleDupAckRestartsSlowStart) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpTahoe> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);  // cwnd = 11
-  double before = h.agent().cwnd().value();
-  h.dup_acks(9, 3);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), before / 2.0);
+  StepHarness<TcpTahoe> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << ExpectCwnd{1.0}                            // no fast recovery
+    << ExpectSsthresh{5.5}                        //
+    << ExpectNoSegment{};
   EXPECT_EQ(h.agent().retransmissions(), 1u);
 }
 
@@ -151,35 +169,31 @@ TEST(TcpTahoeTest, TripleDupAckRestartsSlowStart) {
 // ---------------------------------------------------------------------------
 
 TEST(TcpRenoTest, FastRecoveryHalvesAndInflates) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);  // cwnd 11
-  h.dup_acks(9, 3);
-  EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), 5.5);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 8.5);  // ssthresh + 3
-  EXPECT_EQ(h.agent().retransmissions(), 1u);
-  // Additional dup ACKs inflate.
-  h.dup_acks(9, 1);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 9.5);
-  // The recovery-exiting ACK deflates to ssthresh.
-  h.ack(h.agent().next_seq() - 1);
-  EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 5.5);
+  StepHarness<TcpReno> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << ExpectState{TcpPhase::kFastRecovery}       //
+    << ExpectSsthresh{5.5} << ExpectCwnd{8.5}     // ssthresh + 3
+    << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << InjectAck{.seq = 9}                        // additional dups inflate
+    << ExpectCwnd{9.5}
+    // The recovery-exiting ACK deflates to ssthresh.
+    << InjectAck{.seq = 20}                        //
+    << ExpectState{TcpPhase::kCongestionAvoidance} //
+    << ExpectCwnd{5.5};
 }
 
 TEST(TcpRenoTest, BelowThresholdDupAcksDoNothing) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);
-  double before = h.agent().cwnd().value();
-  h.dup_acks(9, 2);
-  EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), before);
+  StepHarness<TcpReno> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << ExpectCwnd{11.0} << DrainSegments{}           //
+    << InjectAck{.seq = 9} << InjectAck{.seq = 9}    //
+    << ExpectDupacks{2} << ExpectCwnd{11.0}          //
+    << ExpectState{TcpPhase::kSlowStart}             // not in recovery
+    << ExpectNoSegment{};
   EXPECT_EQ(h.agent().retransmissions(), 0u);
 }
 
@@ -188,41 +202,34 @@ TEST(TcpRenoTest, BelowThresholdDupAcksDoNothing) {
 // ---------------------------------------------------------------------------
 
 TEST(TcpNewRenoTest, PartialAckRetransmitsNextHoleWithoutExiting) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);  // cwnd 11, next_seq ~ 20s
-  std::int64_t recover = h.agent().next_seq() - 1;
-  h.dup_acks(9, 3);
-  ASSERT_TRUE(h.agent().in_recovery());
-  std::uint64_t retx_before = h.agent().retransmissions();
-
-  // Partial ACK: seq 12 < recover point.
-  h.ack(12);
-  EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_EQ(h.agent().retransmissions(), retx_before + 1);
-
-  // Full ACK ends recovery and deflates to ssthresh.
-  h.ack(recover);
-  EXPECT_FALSE(h.agent().in_recovery());
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), h.agent().ssthresh().value());
+  StepHarness<TcpNewReno> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11, recovery point will be 20
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
+  h << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << InjectAck{.seq = 12}                       // partial: below 20
+    << ExpectSegment{.seq = 13, .is_retx = true}  //
+    << ExpectState{TcpPhase::kFastRecovery}
+    // Full ACK ends recovery and deflates to ssthresh.
+    << InjectAck{.seq = 20}                        //
+    << ExpectState{TcpPhase::kCongestionAvoidance} //
+    << ExpectCwnd{5.5} << ExpectSsthresh{5.5};
 }
 
 TEST(TcpNewRenoTest, MultipleLossesRecoverWithoutTimeout) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpNewReno> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);
-  std::int64_t recover = h.agent().next_seq() - 1;
-  h.dup_acks(9, 3);
+  StepHarness<TcpNewReno> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 9};
   // Three consecutive partial ACKs (three holes), then the full ACK.
-  h.ack(11);
-  h.ack(13);
-  h.ack(15);
-  h.ack(recover);
-  EXPECT_FALSE(h.agent().in_recovery());
+  h << ExpectSegment{.seq = 10, .is_retx = true}                          //
+    << InjectAck{.seq = 11} << ExpectSegment{.seq = 12, .is_retx = true}  //
+    << InjectAck{.seq = 13} << ExpectSegment{.seq = 14, .is_retx = true}  //
+    << InjectAck{.seq = 15} << ExpectSegment{.seq = 16, .is_retx = true}  //
+    << InjectAck{.seq = 20}                                               //
+    << ExpectState{TcpPhase::kCongestionAvoidance};
   EXPECT_EQ(h.agent().timeouts(), 0u);
   EXPECT_GE(h.agent().retransmissions(), 4u);
 }
@@ -232,137 +239,112 @@ TEST(TcpNewRenoTest, MultipleLossesRecoverWithoutTimeout) {
 // ---------------------------------------------------------------------------
 
 TEST(TcpSackTest, ScoreboardTracksSackedBlocks) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpSack> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);
-  h.dup_acks(9, 3, false, {{12, 15}});
-  EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_EQ(h.agent().scoreboard_size(), 3u);  // 12,13,14
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 9, .sack_blocks = {{12, 15}}};
+  }
+  h << ExpectState{TcpPhase::kFastRecovery}  //
+    << ExpectSackScoreboard{3};              // 12, 13, 14
 }
 
 TEST(TcpSackTest, RetransmitsOnlyHoles) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpSack> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);  // cwnd 11; outstanding 10..20
-  std::uint64_t sent_before = h.agent().packets_sent();
-  // Everything from 11..19 sacked except 10: only 10 is a hole.
-  h.dup_acks(9, 3, false, {{11, 20}});
-  std::uint64_t retx = h.agent().retransmissions();
-  EXPECT_GE(retx, 1u);
-  (void)sent_before;
-  // Full ACK clears the scoreboard.
-  h.ack(h.agent().next_seq() - 1);
-  EXPECT_EQ(h.agent().scoreboard_size(), 0u);
-  EXPECT_FALSE(h.agent().in_recovery());
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);  // cwnd 11; outstanding 10..20
+  h << DrainSegments{};
+  // Everything from 11..19 sacked: the holes are 10 and 20, nothing else.
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 9, .sack_blocks = {{11, 20}}};
+  }
+  h << ExpectSegment{.seq = 10, .is_retx = true}  //
+    << ExpectSegment{.seq = 20, .is_retx = true}  //
+    << ExpectNoSegment{}
+    // Full ACK clears the scoreboard.
+    << InjectAck{.seq = 20}                        //
+    << ExpectSackScoreboard{0}                     //
+    << ExpectState{TcpPhase::kCongestionAvoidance};
 }
 
 TEST(TcpSackTest, TimeoutClearsScoreboard) {
-  TcpConfig cfg;
-  cfg.window = 32;
-  TcpHarness<TcpSack> h(cfg);
-  h.start();
-  h.ack_each_up_to(9);
-  h.dup_acks(9, 3, false, {{12, 18}});
-  ASSERT_GT(h.agent().scoreboard_size(), 0u);
-  h.run_ms(5000);
+  StepHarness<TcpSack> h;
+  h << Push{};
+  ack_each(h, 9);
+  h << DrainSegments{};
+  for (int i = 0; i < 3; ++i) {
+    h << InjectAck{.seq = 9, .sack_blocks = {{12, 18}}};
+  }
+  h << ExpectSackScoreboard{6}   //
+    << Tick{Seconds(5.0)}        //
+    << ExpectSackScoreboard{0}   //
+    << ExpectCwnd{1.0};
   EXPECT_GE(h.agent().timeouts(), 1u);
-  EXPECT_EQ(h.agent().scoreboard_size(), 0u);
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), 1.0);
 }
 
 // ---------------------------------------------------------------------------
 // Vegas
 // ---------------------------------------------------------------------------
 
-class VegasHarness : public TcpHarness<TcpVegas> {
- public:
-  VegasHarness() : TcpHarness<TcpVegas>(make_cfg(), VegasConfig{}) {}
-  static TcpConfig make_cfg() {
-    TcpConfig cfg;
-    cfg.window = 64;
-    return cfg;
-  }
-  // Acknowledge segment `s` with a crafted RTT.
-  void ack_rtt(std::int64_t s, double rtt_s) {
-    SimTime echo = sim().now() - SimTime::from_seconds(rtt_s);
-    agent().receive(make_ack(s, 5, false, {}, echo));
-  }
-};
-
 TEST(TcpVegasTest, SlowStartDoublesEveryOtherRtt) {
-  VegasHarness h;
-  h.start();
-  h.run_ms(500);
-  double cwnd0 = h.agent().cwnd().value();  // 1
-  h.ack_rtt(0, 0.050);              // epoch 1 ends: grow epoch => x2
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), cwnd0 * 2);
-  // Next epoch is a hold epoch even with headroom.
-  h.ack_rtt(1, 0.050);
-  h.ack_rtt(2, 0.050);  // crosses epoch boundary
-  EXPECT_DOUBLE_EQ(h.agent().cwnd().value(), cwnd0 * 2);
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(0.5)}                            //
+    << InjectAck{.seq = 0, .rtt = Seconds(0.05)}               //
+    << ExpectCwnd{2.0}                                         // grow epoch
+    << InjectAck{.seq = 1, .rtt = Seconds(0.05)}               //
+    << InjectAck{.seq = 2, .rtt = Seconds(0.05)}               //
+    << ExpectCwnd{2.0};                                        // hold epoch
 }
 
 TEST(TcpVegasTest, ExitsSlowStartWhenQueueingDetected) {
-  VegasHarness h;
-  h.start();
-  h.run_ms(500);
-  h.ack_rtt(0, 0.050);  // baseRTT 50 ms, cwnd 2
-  h.ack_rtt(1, 0.050);
-  h.ack_rtt(2, 0.050);  // cwnd still 2 (hold epoch), cwnd 2... grows next
-  h.ack_rtt(3, 0.050);
-  ASSERT_GE(h.agent().cwnd().value(), 4.0);
-  // RTT doubles: diff = cwnd*(1-50/100) = cwnd/2 > gamma -> leave slow start.
-  double before = h.agent().cwnd().value();
-  for (std::int64_t s = h.agent().highest_ack() + 1; s <= 12; ++s) {
-    h.ack_rtt(s, 0.100);
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(0.5)};
+  for (std::int64_t s = 0; s <= 3; ++s) {
+    h << InjectAck{.seq = s, .rtt = Seconds(0.05)};  // baseRTT 50 ms
   }
-  EXPECT_LT(h.agent().cwnd().value(), before + 1.0);
-  EXPECT_DOUBLE_EQ(h.agent().ssthresh().value(), 2.0);  // CA from now on
+  h << ExpectCwnd{4.0}
+    // RTT doubles: diff = 4 * (1 - 50/100) = 2 > gamma at the next epoch
+    // boundary -> leave slow start with a cwnd/8 trim instead of a loss.
+    << InjectAck{.seq = 4, .rtt = Seconds(0.1)}  //
+    << InjectAck{.seq = 5, .rtt = Seconds(0.1)}  //
+    << ExpectCwnd{3.5} << ExpectSsthresh{2.0}    //
+    << ExpectState{TcpPhase::kCongestionAvoidance};
 }
 
 TEST(TcpVegasTest, CongestionAvoidanceNudgesWindow) {
-  VegasHarness h;
-  h.start();
-  h.run_ms(500);
-  // Drive into CA with a known base RTT.
-  h.ack_rtt(0, 0.050);
-  for (std::int64_t s = 1; s <= 12; ++s) h.ack_rtt(s, 0.100);
-  ASSERT_DOUBLE_EQ(h.agent().ssthresh().value(), 2.0);
-  double cwnd = h.agent().cwnd().value();
-
-  // RTT back to base: diff ~ 0 < alpha => +1 at the next epoch boundary.
-  std::int64_t upto = h.agent().highest_ack() + 8;
-  for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
-    h.ack_rtt(s, 0.050);
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(0.5)};
+  for (std::int64_t s = 0; s <= 3; ++s) {
+    h << InjectAck{.seq = s, .rtt = Seconds(0.05)};
   }
-  EXPECT_GT(h.agent().cwnd().value(), cwnd);
-
-  // Large queueing: diff > beta => -1 per epoch. The first boundary may
-  // still contain old base-RTT samples, so give it several epochs.
-  double high = h.agent().cwnd().value();
-  upto = h.agent().highest_ack() + 40;
-  for (std::int64_t s = h.agent().highest_ack() + 1; s <= upto; ++s) {
-    h.ack_rtt(s, 0.300);
-  }
-  EXPECT_LT(h.agent().cwnd().value(), high);
+  h << InjectAck{.seq = 4, .rtt = Seconds(0.1)}  //
+    << InjectAck{.seq = 5, .rtt = Seconds(0.1)}  // into CA with cwnd 3.5
+    << ExpectSsthresh{2.0}
+    // RTT back to base: diff ~ 0 < alpha => +1 at the boundary (ACK 9).
+    << InjectAck{.seq = 6, .rtt = Seconds(0.05)}  //
+    << InjectAck{.seq = 7, .rtt = Seconds(0.05)}  //
+    << InjectAck{.seq = 8, .rtt = Seconds(0.05)}  //
+    << InjectAck{.seq = 9, .rtt = Seconds(0.05)}  //
+    << ExpectCwnd{4.5}
+    // Heavy queueing: diff = 4.5 * (1 - 50/300) > beta => -1 at ACK 12.
+    << InjectAck{.seq = 10, .rtt = Seconds(0.3)}  //
+    << InjectAck{.seq = 11, .rtt = Seconds(0.3)}  //
+    << InjectAck{.seq = 12, .rtt = Seconds(0.3)}  //
+    << ExpectCwnd{3.5};
 }
 
 TEST(TcpVegasTest, LossReductionGentlerThanReno) {
-  VegasHarness h;
-  h.start();
-  h.run_ms(500);
-  h.ack_rtt(0, 0.050);
-  h.ack_rtt(1, 0.050);
-  h.ack_rtt(2, 0.050);
-  h.ack_rtt(3, 0.050);
-  double before = h.agent().cwnd().value();
-  h.dup_acks(h.agent().highest_ack(), 3);
-  EXPECT_TRUE(h.agent().in_recovery());
-  EXPECT_NEAR(h.agent().cwnd().value(), std::max(before * 0.75, 2.0), 1e-9);
+  StepHarness<TcpVegas> h;
+  h << Push{} << Tick{Seconds(0.5)};
+  for (std::int64_t s = 0; s <= 3; ++s) {
+    h << InjectAck{.seq = s, .rtt = Seconds(0.05)};
+  }
+  h << ExpectCwnd{4.0} << DrainSegments{};
+  for (int i = 0; i < 3; ++i) h << InjectAck{.seq = 3};
+  h << ExpectState{TcpPhase::kFastRecovery}  //
+    << ExpectCwnd{3.0}                       // 3/4 of cwnd, not 1/2
+    << ExpectSegment{.seq = 4, .is_retx = true};
 }
 
 }  // namespace
