@@ -143,7 +143,7 @@ void Mac80211::send_rts() {
   SimTime data_air = frame_airtime(MacFrameType::kData, pending_->size_bytes);
   SimTime remaining = params_.sifs * 3 + cts_air + data_air + ack_air;
 
-  auto rts = std::make_unique<Packet>();
+  PacketPtr rts = alloc_packet();
   rts->uid = pending_->uid;
   rts->size_bytes = 0;
   rts->mac.type = MacFrameType::kRts;
@@ -166,7 +166,7 @@ void Mac80211::send_data() {
 }
 
 void Mac80211::send_control(MacFrameType type, NodeId dst, SimTime duration) {
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = alloc_packet();
   pkt->size_bytes = 0;
   pkt->mac.type = type;
   pkt->mac.src = addr();

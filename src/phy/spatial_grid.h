@@ -1,0 +1,99 @@
+// Uniform-grid spatial index over attached PHY positions.
+//
+// Cells are squares of side `cell_size` (the channel uses the 550 m
+// carrier-sense range). Because the cell side equals the maximum delivery
+// radius, every receiver within range of a transmitter sits in the 3x3 cell
+// neighborhood of the transmitter's cell: two points within `cell_size` of
+// each other have per-axis deltas <= cell_size, so their cell coordinates
+// differ by at most 1 per axis. gather() therefore visits at most 9 cells —
+// O(neighbors) instead of O(attached PHYs) per transmission.
+//
+// Determinism contract: gather() returns candidates in an unspecified order;
+// the channel sorts them by their monotonically increasing attach-order key,
+// which restores exactly the brute-force scan order (the phys_ vector is in
+// attach order and detach preserves relative order). Entries cache the
+// owner's exact position doubles, so distance() computes bit-identically to
+// a scan that calls phy->position().
+//
+// The cell table is open-addressed with linear probing and never deletes a
+// cell (an emptied cell keeps its slot), so probe chains stay valid without
+// tombstones. The table is only ever accessed by key lookup — iteration
+// order never reaches simulation state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/position.h"
+#include "sim/units.h"
+
+namespace muzha {
+
+class WirelessPhy;
+
+class SpatialGrid {
+ public:
+  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
+
+  // Backpointer from an indexed PHY to its entry, held by the owner and
+  // kept current by the grid across swap-and-pop removals and rehashes.
+  struct Item {
+    std::uint32_t cell = kNoCell;
+    std::uint32_t slot = 0;
+    bool valid() const { return cell != kNoCell; }
+  };
+
+  struct Entry {
+    Position pos;          // exact copy of the owner's position doubles
+    std::uint64_t order;   // channel attach-order key (monotonic, unique)
+    WirelessPhy* phy;
+    Item* backref;         // -> the owner's Item, rewritten when we move it
+  };
+
+  explicit SpatialGrid(Meters cell_size);
+
+  // Inserts `phy` and records its location in *backref.
+  void insert(WirelessPhy* phy, Position pos, std::uint64_t order,
+              Item* backref);
+
+  // Removes the entry *backref points at (no-op when invalid) and
+  // invalidates *backref.
+  void remove(Item* backref);
+
+  // Repositions the entry, migrating it between cells when the new position
+  // crosses a cell boundary.
+  void move(Item* backref, Position pos);
+
+  // Appends every entry in the 3x3 cell neighborhood of `center` to `out`
+  // (which is not cleared). Order is unspecified — sort by Entry::order.
+  void gather(Position center, std::vector<Entry>& out) const;
+
+  // Drops every entry and cell. Outstanding Items are NOT invalidated; the
+  // caller (the channel, on a mode rebuild) owns that bookkeeping.
+  void clear();
+
+  std::size_t size() const { return entries_; }
+
+ private:
+  struct Cell {
+    std::int64_t cx = 0;
+    std::int64_t cy = 0;
+    bool used = false;
+    std::vector<Entry> entries;
+  };
+
+  std::int64_t coord_of(double v) const;
+  // Linear-probe lookup; returns kNoCell when the cell does not exist.
+  std::uint32_t find_cell(std::int64_t cx, std::int64_t cy) const;
+  // Lookup-or-create; may rehash (which rewrites every entry backref).
+  std::uint32_t obtain_cell(std::int64_t cx, std::int64_t cy);
+  void rehash(std::size_t new_buckets);
+  static std::size_t bucket_hash(std::int64_t cx, std::int64_t cy);
+
+  double cell_size_;
+  std::vector<Cell> cells_;  // power-of-two bucket count
+  std::size_t used_cells_ = 0;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace muzha

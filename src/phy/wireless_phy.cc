@@ -92,7 +92,7 @@ void WirelessPhy::signal_start(PacketPtr pkt, bool pre_corrupted,
       ++collisions_;
     }
   }
-  active_signals_.emplace(seq, tx_dist);
+  active_signals_.emplace_back(seq, tx_dist);
   ++sensed_signals_;
   update_carrier(was_busy);
   sim_.schedule_in(duration, [this, seq] { signal_end(seq); });
@@ -102,7 +102,13 @@ void WirelessPhy::signal_end(std::uint64_t signal_seq) {
   bool was_busy = carrier_busy();
   MUZHA_ASSERT(sensed_signals_ > 0, "signal_end without matching start");
   --sensed_signals_;
-  active_signals_.erase(signal_seq);
+  for (auto& entry : active_signals_) {
+    if (entry.first == signal_seq) {
+      entry = active_signals_.back();  // swap-pop; order is irrelevant
+      active_signals_.pop_back();
+      break;
+    }
+  }
   if (signal_seq == decoding_seq_) {
     decoding_seq_ = 0;
     PacketPtr p = std::move(decoding_pkt_);

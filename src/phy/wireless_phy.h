@@ -9,7 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "phy/channel.h"
 #include "phy/phy_params.h"
@@ -34,10 +35,14 @@ class WirelessPhy {
   WirelessPhy(Simulator& sim, Channel& channel, NodeId id, Position pos);
   WirelessPhy(const WirelessPhy&) = delete;
   WirelessPhy& operator=(const WirelessPhy&) = delete;
+  ~WirelessPhy() { channel_.detach(*this); }
 
   NodeId id() const { return id_; }
   Position position() const { return pos_; }
-  void set_position(Position p) { pos_ = p; }
+  void set_position(Position p) {
+    pos_ = p;
+    channel_.phy_moved(*this);  // keeps the spatial index current
+  }
 
   void set_channel_state_callback(ChannelStateCallback cb) {
     on_channel_state_ = std::move(cb);
@@ -71,6 +76,8 @@ class WirelessPhy {
   std::uint64_t collisions() const { return collisions_; }
 
  private:
+  friend class Channel;  // attach/detach bookkeeping below
+
   void signal_end(std::uint64_t signal_seq);
   void update_carrier(bool was_busy);
 
@@ -79,16 +86,24 @@ class WirelessPhy {
   NodeId id_;
   Position pos_;
 
+  // Channel bookkeeping, written only by Channel::attach/detach.
+  bool channel_attached_ = false;
+  std::uint64_t channel_order_ = 0;  // monotonic attach-order key
+  SpatialGrid::Item grid_item_;      // backref into the spatial index
+
   ChannelStateCallback on_channel_state_;
   RxCallback on_rx_;
   TxDoneCallback on_tx_done_;
 
   bool tx_active_ = false;
   int sensed_signals_ = 0;
-  // Distances of all currently arriving signals, keyed by signal sequence.
-  // Ordered map: signal_start() iterates this to decide frame capture, so
-  // the walk must not depend on hash-bucket layout.
-  std::map<std::uint64_t, Meters> active_signals_;
+  // (sequence, distance) of every signal currently arriving. Flat vector,
+  // erased by swap-pop: the capture decision in signal_start() is an
+  // order-independent predicate over ALL entries, so element order does not
+  // matter, and the handful of concurrently overlapping signals never
+  // justifies a node-allocating container on the per-delivery warm path
+  // (the vector keeps its capacity once grown).
+  std::vector<std::pair<std::uint64_t, Meters>> active_signals_;
 
   // In-progress decode.
   std::uint64_t next_signal_seq_ = 1;

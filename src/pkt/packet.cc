@@ -2,13 +2,8 @@
 
 namespace muzha {
 
-PacketPtr make_packet(std::uint64_t& uid_counter) {
-  auto p = std::make_unique<Packet>();
-  p->uid = ++uid_counter;
-  return p;
-}
-
-PacketPtr clone_packet(const Packet& p) { return std::make_unique<Packet>(p); }
+// make_packet / clone_packet / alloc_packet live in packet_arena.cc so the
+// pool and its factories share a translation unit.
 
 const char* mac_frame_name(MacFrameType t) {
   switch (t) {

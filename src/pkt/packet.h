@@ -6,10 +6,11 @@
 // clones one copy per receiver.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <variant>
-#include <vector>
 
 #include "pkt/aodv_messages.h"
 #include "sim/assert.h"
@@ -84,6 +85,49 @@ struct SackBlock {
   friend bool operator==(const SackBlock&, const SackBlock&) = default;
 };
 
+// Fixed-capacity SACK block list. The real option carries at most 3 blocks
+// (RFC 2018); storing them inline keeps TcpHeader — and therefore Packet —
+// free of heap-owning members, which is what lets the packet arena clone and
+// recycle packets without touching the allocator. push_back saturates at
+// capacity (the sink already honours TcpSink::Config::max_sack_blocks).
+inline constexpr int kMaxSackBlocks = 4;
+
+class SackList {
+ public:
+  SackList() = default;
+  SackList(std::initializer_list<SackBlock> blocks) {
+    for (const SackBlock& b : blocks) push_back(b);
+  }
+
+  void push_back(const SackBlock& b) {
+    MUZHA_DCHECK(count_ < kMaxSackBlocks,
+                 "SackList overflow: more blocks than the option carries");
+    if (count_ < kMaxSackBlocks) blocks_[static_cast<std::size_t>(count_++)] = b;
+  }
+  void clear() { count_ = 0; }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return static_cast<std::size_t>(count_); }
+  const SackBlock& operator[](std::size_t i) const { return blocks_[i]; }
+  SackBlock& operator[](std::size_t i) { return blocks_[i]; }
+  const SackBlock* begin() const { return blocks_.data(); }
+  const SackBlock* end() const { return blocks_.data() + count_; }
+
+  friend bool operator==(const SackList& a, const SackList& b) {
+    if (a.count_ != b.count_) return false;
+    for (int i = 0; i < a.count_; ++i) {
+      if (!(a.blocks_[static_cast<std::size_t>(i)] ==
+            b.blocks_[static_cast<std::size_t>(i)])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<SackBlock, kMaxSackBlocks> blocks_{};
+  std::int8_t count_ = 0;
+};
+
 // Network-state classification piggybacked on ACKs by an ADTCP receiver.
 enum class AdtcpState : std::uint8_t {
   kNormal,
@@ -106,7 +150,7 @@ struct TcpHeader {
   std::uint8_t mrai = kDraiAggressiveAccel;
   bool marked = false;  // marked duplicate ACK => congestion loss
   // SACK blocks (most recent first, at most 3 like the real option).
-  std::vector<SackBlock> sacks;
+  SackList sacks;
   // TCP-DOOR one-byte option: duplicate-ACK stream sequence, so the sender
   // can detect out-of-order delivery among otherwise identical dup ACKs.
   std::uint32_t dup_seq = 0;
@@ -157,7 +201,19 @@ struct Packet {
   bool has_aodv() const { return std::holds_alternative<AodvMessage>(l4); }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Packets are pool-allocated: the deleter returns the object to the calling
+// thread's PacketArena (src/pkt/packet_arena.h) instead of the heap, so the
+// clone-per-receiver channel path and the MAC retransmit path recycle
+// storage through a free list. The deleter is stateless, so PacketPtr stays
+// pointer-sized and inline-callback captures are unaffected.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;  // defined in packet_arena.cc
+};
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Allocates a default-initialised packet (uid 0) from the thread's arena —
+// the MAC uses this for control frames; tests use it for hand-built frames.
+PacketPtr alloc_packet();
 
 // Allocates a packet with a fresh uid. `uid_counter` is owned by the caller
 // (normally the Node or test); there is no global counter.

@@ -1,0 +1,113 @@
+#include "pkt/packet_arena.h"
+
+#include <new>
+
+#include "sim/assert.h"
+
+namespace muzha {
+
+PacketArena& PacketArena::local() {
+  thread_local PacketArena arena;
+  return arena;
+}
+
+PacketArena::~PacketArena() {
+  // Slots still outstanding at thread exit would be destroyed twice (once by
+  // their PacketPtr, once here) — leak the chunk storage instead of guessing.
+  // In practice every PacketPtr dies before its simulator, which dies before
+  // the worker thread, so live_ is 0 and the chunks free cleanly.
+  MUZHA_DCHECK(live_ == 0, "PacketArena destroyed with packets outstanding");
+}
+
+Packet* PacketArena::allocate() {
+  Packet* slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+#if MUZHA_DCHECK_ENABLED
+    free_set_.erase(slot);
+#endif
+  } else {
+    slot = grow();
+  }
+  ++live_;
+  return new (slot) Packet();
+}
+
+void PacketArena::release(Packet* p) noexcept {
+#if MUZHA_DCHECK_ENABLED
+  MUZHA_DCHECK(owns(p), "PacketArena::release: pointer not from this arena "
+                        "(cross-thread free or stray pointer)");
+  MUZHA_DCHECK(free_set_.insert(p).second,
+               "PacketArena::release: double free of pooled packet");
+#endif
+  p->~Packet();
+  free_.push_back(p);
+  --live_;
+}
+
+void PacketArena::trim() {
+  MUZHA_ASSERT(live_ == 0, "PacketArena::trim with packets outstanding");
+  free_.clear();
+  free_.shrink_to_fit();
+  chunks_.clear();
+  chunks_.shrink_to_fit();
+#if MUZHA_DCHECK_ENABLED
+  free_set_.clear();
+#endif
+}
+
+Packet* PacketArena::grow() {
+  auto chunk = std::make_unique<std::byte[]>(kChunkPackets * sizeof(Packet));
+  std::byte* base = chunk.get();
+  chunks_.push_back(std::move(chunk));
+  // Slot 0 is handed to the caller; the rest go on the free list in reverse
+  // so allocation order walks the chunk front to back (cache-friendly and
+  // deterministic, though no simulation state depends on slot addresses).
+  free_.reserve(free_.size() + kChunkPackets - 1);
+  for (std::size_t i = kChunkPackets; i-- > 1;) {
+    Packet* slot = reinterpret_cast<Packet*>(base + i * sizeof(Packet));
+    free_.push_back(slot);
+#if MUZHA_DCHECK_ENABLED
+    free_set_.insert(slot);
+#endif
+  }
+  return reinterpret_cast<Packet*>(base);
+}
+
+#if MUZHA_DCHECK_ENABLED
+bool PacketArena::owns(const Packet* p) const {
+  const std::byte* q = reinterpret_cast<const std::byte*>(p);
+  for (const auto& chunk : chunks_) {
+    const std::byte* base = chunk.get();
+    if (q >= base && q < base + kChunkPackets * sizeof(Packet)) {
+      return (q - base) % sizeof(Packet) == 0;
+    }
+  }
+  return false;
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// PacketPtr factories
+// ---------------------------------------------------------------------------
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (p != nullptr) PacketArena::local().release(p);
+}
+
+PacketPtr alloc_packet() { return PacketPtr(PacketArena::local().allocate()); }
+
+PacketPtr make_packet(std::uint64_t& uid_counter) {
+  PacketPtr p = alloc_packet();
+  p->uid = ++uid_counter;
+  return p;
+}
+
+PacketPtr clone_packet(const Packet& src) {
+  PacketPtr p = alloc_packet();
+  *p = src;  // Packet has no heap-owning members; copy-assign is memberwise
+  return p;
+}
+
+}  // namespace muzha

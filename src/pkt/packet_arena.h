@@ -1,0 +1,80 @@
+// Thread-local free-list pool for Packet objects.
+//
+// The channel clones one packet per decodable receiver and the MAC clones
+// one per transmission attempt; at city scale that is millions of operator
+// new/delete round trips per simulated second. The arena recycles Packet
+// storage through chunks of 256 slots threaded on a free list — the same
+// chunked-pool pattern as the scheduler's callback storage — so the warm
+// allocate/clone/release path never touches the heap: allocation pops a
+// slot and placement-constructs, release destroys and pushes the slot back.
+// Chunk addresses never change while the arena lives.
+//
+// One arena per thread (PacketArena::local()): the BatchRunner runs each
+// experiment on its own worker thread and a packet never crosses threads
+// (each Simulator is confined to one thread), so pooling needs no locks and
+// the pool stays warm across the runs that share a worker. Releasing a
+// packet on a thread other than the one that allocated it is a bug; with
+// MUZHA_DCHECKs on, release() verifies the pointer belongs to this arena's
+// chunks and would catch the stray free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#if MUZHA_DCHECK_ENABLED
+#include <set>
+#endif
+
+#include "pkt/packet.h"
+
+namespace muzha {
+
+class PacketArena {
+ public:
+  PacketArena() = default;
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+  ~PacketArena();
+
+  // The calling thread's arena (constructed on first use).
+  static PacketArena& local();
+
+  // Pops a slot and placement-constructs a default Packet in it.
+  Packet* allocate();
+
+  // Destroys the packet and recycles its slot. With MUZHA_DCHECKs on,
+  // catches double-free and pointers that were never handed out by this
+  // arena (including packets allocated on another thread).
+  void release(Packet* p) noexcept;
+
+  // Introspection (tests and stats).
+  std::size_t outstanding() const { return live_; }
+  std::size_t pooled_free() const { return free_.size(); }
+  std::size_t capacity() const { return kChunkPackets * chunks_.size(); }
+
+  // Returns every chunk to the heap. Only legal when nothing is
+  // outstanding; the next allocate() grows a fresh chunk.
+  void trim();
+
+ private:
+  static constexpr std::size_t kChunkPackets = 256;
+
+  Packet* grow();  // cold path: appends a chunk, returns its first slot
+
+#if MUZHA_DCHECK_ENABLED
+  bool owns(const Packet* p) const;
+#endif
+
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;  // raw slot storage
+  std::vector<Packet*> free_;                         // recycled raw slots
+  std::size_t live_ = 0;
+#if MUZHA_DCHECK_ENABLED
+  // Debug shadow of the free list for O(log n) double-free detection.
+  // muzha-lint: allow(pointer-key): membership queries only, never iterated
+  std::set<const Packet*> free_set_;
+#endif
+};
+
+}  // namespace muzha

@@ -1,0 +1,135 @@
+#include "scenario/city.h"
+
+#include <cmath>
+
+#include "scenario/batch_runner.h"
+#include "sim/assert.h"
+
+namespace muzha {
+
+std::vector<NodeId> build_random_field(Network& net, const FieldConfig& f) {
+  MUZHA_ASSERT(f.nodes >= 2, "field needs at least two nodes");
+  Rng& rng = net.sim().rng();
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(f.nodes));
+  for (int i = 0; i < f.nodes; ++i) {
+    ids.push_back(net.add_node({rng.uniform(0.0, f.width.value()),
+                                rng.uniform(0.0, f.height.value())})
+                      .id());
+  }
+  return ids;
+}
+
+std::vector<NodeId> build_manhattan_field(Network& net, const FieldConfig& f) {
+  MUZHA_ASSERT(f.nodes >= 2, "field needs at least two nodes");
+  MUZHA_ASSERT(f.street_pitch.value() > 0.0, "street pitch must be positive");
+  Rng& rng = net.sim().rng();
+  // Streets run the full width/height at multiples of the pitch, both axes.
+  std::int64_t h_streets =
+      static_cast<std::int64_t>(std::floor(f.height.value() / f.street_pitch.value())) + 1;
+  std::int64_t v_streets =
+      static_cast<std::int64_t>(std::floor(f.width.value() / f.street_pitch.value())) + 1;
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(f.nodes));
+  for (int i = 0; i < f.nodes; ++i) {
+    Position p;
+    // Pick a street uniformly among all streets, then a point along it.
+    std::int64_t street = rng.uniform_int(0, h_streets + v_streets - 1);
+    if (street < h_streets) {
+      p.y = f.street_pitch.value() * static_cast<double>(street);
+      p.x = rng.uniform(0.0, f.width.value());
+    } else {
+      p.x = f.street_pitch.value() * static_cast<double>(street - h_streets);
+      p.y = rng.uniform(0.0, f.height.value());
+    }
+    ids.push_back(net.add_node(p).id());
+  }
+  return ids;
+}
+
+namespace {
+
+// Private counter-mode SplitMix64 stream for traffic generation; keeps flow
+// patterns independent of the simulation RNG.
+class FlowRng {
+ public:
+  explicit FlowRng(std::uint64_t seed) : seed_(seed) {}
+  std::uint64_t next() { return splitmix64(seed_ ^ counter_++); }
+  // Uniform in [0, n) by rejection-free modulo — bias is irrelevant for
+  // scenario generation and modulo keeps the stream trivially portable.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  double unit() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace
+
+std::vector<FlowSpec> make_random_flows(int count, int nodes, TcpVariant v,
+                                        std::uint64_t flow_seed,
+                                        SimTime start_window, int window) {
+  MUZHA_ASSERT(nodes >= 2, "flows need at least two nodes");
+  FlowRng rng(flow_seed);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FlowSpec f;
+    f.variant = v;
+    f.window = window;
+    f.src = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(nodes)));
+    do {
+      f.dst = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(nodes)));
+    } while (f.dst == f.src);
+    f.start_time = SimTime::from_ns(static_cast<std::int64_t>(
+        rng.unit() * static_cast<double>(start_window.ns())));
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<CbrFlowSpec> make_random_cbr_flows(int count, int nodes,
+                                               BitsPerSecond rate,
+                                               std::uint64_t flow_seed,
+                                               SimTime start_window) {
+  MUZHA_ASSERT(nodes >= 2, "flows need at least two nodes");
+  // Offset the seed so CBR pairs differ from the FTP pairs drawn from the
+  // same flow_seed.
+  FlowRng rng(splitmix64(flow_seed ^ 0xCB12CB12CB12CB12ull));
+  std::vector<CbrFlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    CbrFlowSpec f;
+    f.rate = rate;
+    f.src = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(nodes)));
+    do {
+      f.dst = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(nodes)));
+    } while (f.dst == f.src);
+    f.start_time = SimTime::from_ns(static_cast<std::int64_t>(
+        rng.unit() * static_cast<double>(start_window.ns())));
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+ExperimentConfig make_city_config(const CityConfig& city) {
+  MUZHA_ASSERT(city.placement == TopologyKind::kRandomField ||
+                   city.placement == TopologyKind::kManhattanGrid,
+               "city placement must be a field topology");
+  ExperimentConfig cfg;
+  cfg.topology = city.placement;
+  cfg.field = city.field;
+  cfg.duration = city.duration;
+  cfg.seed = city.seed;
+  cfg.flows = make_random_flows(city.ftp_flows, city.field.nodes, city.variant,
+                                city.flow_seed, city.flow_start_window);
+  cfg.cbr_flows =
+      make_random_cbr_flows(city.cbr_flows, city.field.nodes, city.cbr_rate,
+                            city.flow_seed, city.flow_start_window);
+  return cfg;
+}
+
+}  // namespace muzha

@@ -1,0 +1,60 @@
+// City-scale scenario generation.
+//
+// The paper evaluates Muzha on 4-7-hop chains; MANET TCP studies normally
+// run over random-waypoint fields with hundreds of nodes. This module
+// generates those fields: node placement (uniform random or Manhattan street
+// grid), plus seeded random flow sets (N nodes x F concurrent FTP/CBR
+// flows), all expressed as an ExperimentConfig so the existing
+// run_experiment / BatchRunner plumbing drives them unchanged.
+//
+// Placement draws from the simulation RNG (inside run_experiment), so a
+// (config, seed) pair fully determines the topology. Flow endpoints are
+// drawn from a private SplitMix64 stream keyed on `flow_seed` — independent
+// of the simulation seed, so a sweep can vary the field while holding the
+// traffic pattern fixed (and vice versa).
+#pragma once
+
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "scenario/network.h"
+
+namespace muzha {
+
+// Topology builders, called by run_experiment for the field topologies.
+// Both append `f.nodes` nodes and return their ids.
+std::vector<NodeId> build_random_field(Network& net, const FieldConfig& f);
+std::vector<NodeId> build_manhattan_field(Network& net, const FieldConfig& f);
+
+// `count` FTP flows between distinct random node pairs, starts staggered
+// uniformly over [0, start_window]. Deterministic in (count, nodes,
+// flow_seed).
+std::vector<FlowSpec> make_random_flows(int count, int nodes, TcpVariant v,
+                                        std::uint64_t flow_seed,
+                                        SimTime start_window,
+                                        int window = 32);
+
+// Same idea for background CBR load.
+std::vector<CbrFlowSpec> make_random_cbr_flows(int count, int nodes,
+                                               BitsPerSecond rate,
+                                               std::uint64_t flow_seed,
+                                               SimTime start_window);
+
+// One-call config for the common case: an N-node mobile random-waypoint (or
+// Manhattan) field with F FTP flows of `variant` and C CBR flows.
+struct CityConfig {
+  FieldConfig field;
+  TopologyKind placement = TopologyKind::kRandomField;
+  int ftp_flows = 4;
+  int cbr_flows = 0;
+  TcpVariant variant = TcpVariant::kNewReno;
+  BitsPerSecond cbr_rate = BitsPerSecond(100'000.0);
+  SimTime flow_start_window = SimTime::from_seconds(5.0);
+  SimTime duration = SimTime::from_seconds(60.0);
+  std::uint64_t seed = 1;       // simulation seed (placement, motion, ...)
+  std::uint64_t flow_seed = 1;  // traffic-pattern seed
+};
+
+ExperimentConfig make_city_config(const CityConfig& city);
+
+}  // namespace muzha

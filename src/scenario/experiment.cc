@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "app/cbr.h"
 #include "relwork/adtcp.h"
 #include "relwork/ecn.h"
 #include "relwork/tcp_door.h"
@@ -9,6 +10,8 @@
 #include "relwork/tcp_rovegas.h"
 #include "relwork/tcp_westwood.h"
 #include "routing/static_routing.h"
+#include "scenario/city.h"
+#include "scenario/mobility.h"
 #include "sim/assert.h"
 
 namespace muzha {
@@ -135,13 +138,46 @@ void install_static_routes(Network& net) {
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   MUZHA_ASSERT(!cfg.flows.empty(), "experiment needs at least one flow");
-  Network net(cfg.seed);
+  Network net(cfg.seed, {}, {},
+              cfg.brute_force_channel ? ChannelMode::kBruteForce
+                                      : ChannelMode::kSpatialIndex);
 
   // Topology.
-  if (cfg.topology == TopologyKind::kChain) {
-    build_chain(net, cfg.hops);
-  } else {
-    build_cross(net, cfg.hops);
+  switch (cfg.topology) {
+    case TopologyKind::kChain:
+      build_chain(net, cfg.hops);
+      break;
+    case TopologyKind::kCross:
+      build_cross(net, cfg.hops);
+      break;
+    case TopologyKind::kRandomField:
+      build_random_field(net, cfg.field);
+      break;
+    case TopologyKind::kManhattanGrid:
+      build_manhattan_field(net, cfg.field);
+      break;
+  }
+
+  // Random-waypoint motion over the field rectangle.
+  std::vector<std::unique_ptr<RandomWaypointMobility>> mobility;
+  if ((cfg.topology == TopologyKind::kRandomField ||
+       cfg.topology == TopologyKind::kManhattanGrid) &&
+      cfg.field.mobile) {
+    RandomWaypointMobility::Config mc;
+    mc.min_x = 0.0;
+    mc.max_x = cfg.field.width.value();
+    mc.min_y = 0.0;
+    mc.max_y = cfg.field.height.value();
+    mc.min_speed = cfg.field.min_speed;
+    mc.max_speed = cfg.field.max_speed;
+    mc.pause = cfg.field.pause;
+    mc.tick = cfg.field.mobility_tick;
+    mobility.reserve(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      mobility.push_back(std::make_unique<RandomWaypointMobility>(
+          net.sim(), net.node(i), mc));
+      mobility.back()->start();
+    }
   }
 
   // Routing.
@@ -226,6 +262,23 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     instances.back().cwnd.attach(*instances.back().agent);
   }
 
+  // Background CBR load.
+  std::vector<std::unique_ptr<CbrApp>> cbr_apps;
+  cbr_apps.reserve(cfg.cbr_flows.size());
+  for (const CbrFlowSpec& c : cfg.cbr_flows) {
+    MUZHA_ASSERT(c.src < net.size() && c.dst < net.size(),
+                 "CBR endpoints out of range");
+    MUZHA_ASSERT(c.src != c.dst, "CBR endpoints must differ");
+    CbrApp::Config cc;
+    cc.dst = net.node(c.dst).id();
+    cc.packet_size_bytes = c.packet_size_bytes;
+    cc.rate = c.rate;
+    cc.start_time = c.start_time;
+    cbr_apps.push_back(
+        std::make_unique<CbrApp>(net.sim(), net.node(c.src), cc));
+    cbr_apps.back()->install();
+  }
+
   net.run_until(cfg.duration);
 
   // Collect.
@@ -259,6 +312,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     result.phy_collisions += net.node(i).device().phy().collisions();
   }
   result.channel_error_losses = net.channel().frames_corrupted_by_error();
+  for (const auto& app : cbr_apps) result.cbr_packets_sent += app->packets_sent();
   return result;
 }
 

@@ -57,14 +57,52 @@ struct FlowSpec {
   int window = 32;  // NS-2 window_
 };
 
-enum class TopologyKind { kChain, kCross };
+enum class TopologyKind {
+  kChain,
+  kCross,
+  // City-scale fields (src/scenario/city.h): N nodes placed by the seeded
+  // simulation RNG, optional random-waypoint motion, sized by `field`.
+  kRandomField,    // uniform random placement in the rectangle
+  kManhattanGrid,  // nodes on a street grid of pitch `street_pitch`
+};
+
+// Geometry and motion of the city-scale field topologies.
+struct FieldConfig {
+  int nodes = 200;
+  Meters width = Meters(2000.0);
+  Meters height = Meters(2000.0);
+  // Manhattan grid: distance between adjacent streets; nodes sit on streets
+  // (random street, random offset along it).
+  Meters street_pitch = Meters(275.0);
+  // Random-waypoint motion (applies to both field kinds when true).
+  bool mobile = true;
+  MetersPerSecond min_speed = MetersPerSecond(1.0);
+  MetersPerSecond max_speed = MetersPerSecond(10.0);
+  SimTime pause = SimTime::from_seconds(2.0);
+  SimTime mobility_tick = SimTime::from_ms(250);
+};
+
+// Background CBR load (no transport; competes for airtime and queues).
+struct CbrFlowSpec {
+  std::size_t src = 0;  // node index
+  std::size_t dst = 0;  // node index
+  BitsPerSecond rate = BitsPerSecond(100'000.0);
+  std::uint32_t packet_size_bytes = 512;
+  SimTime start_time;
+};
 
 struct ExperimentConfig {
   TopologyKind topology = TopologyKind::kChain;
   int hops = 4;
+  FieldConfig field;  // used by kRandomField / kManhattanGrid only
   SimTime duration = SimTime::from_seconds(30.0);
   std::uint64_t seed = 1;
   std::vector<FlowSpec> flows;
+  std::vector<CbrFlowSpec> cbr_flows;
+  // Run the channel's O(attached) reference scan instead of the spatial
+  // index — the oracle side of the differential tests. Results must be
+  // bit-identical either way.
+  bool brute_force_channel = false;
   // Router assistance: default on iff any flow is Muzha.
   enum class Routers { kAuto, kOn, kOff };
   Routers muzha_routers = Routers::kAuto;
@@ -103,6 +141,7 @@ struct ExperimentResult {
   std::uint64_t mac_retry_drops = 0;   // retry-limit losses (link failure)
   std::uint64_t phy_collisions = 0;
   std::uint64_t channel_error_losses = 0;
+  std::uint64_t cbr_packets_sent = 0;  // background-load injection count
 
   BitsPerSecond total_throughput() const;
   // Per-flow goodput in bit/s (convenience for stats helpers).

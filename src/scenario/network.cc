@@ -7,8 +7,9 @@
 
 namespace muzha {
 
-Network::Network(std::uint64_t seed, PhyParams phy, NodeConfig node_cfg)
-    : sim_(seed), channel_(sim_, phy), node_cfg_(node_cfg) {}
+Network::Network(std::uint64_t seed, PhyParams phy, NodeConfig node_cfg,
+                 ChannelMode channel_mode)
+    : sim_(seed), channel_(sim_, phy, channel_mode), node_cfg_(node_cfg) {}
 
 Node& Network::add_node(Position pos) {
   NodeId id = static_cast<NodeId>(nodes_.size());

@@ -15,7 +15,8 @@ namespace muzha {
 class Network {
  public:
   explicit Network(std::uint64_t seed = 1, PhyParams phy = {},
-                   NodeConfig node_cfg = {});
+                   NodeConfig node_cfg = {},
+                   ChannelMode channel_mode = ChannelMode::kSpatialIndex);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 

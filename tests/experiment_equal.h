@@ -40,6 +40,7 @@ inline void expect_results_identical(const ExperimentResult& a,
   EXPECT_EQ(a.mac_retry_drops, b.mac_retry_drops);
   EXPECT_EQ(a.phy_collisions, b.phy_collisions);
   EXPECT_EQ(a.channel_error_losses, b.channel_error_losses);
+  EXPECT_EQ(a.cbr_packets_sent, b.cbr_packets_sent);
 }
 
 }  // namespace muzha::testing

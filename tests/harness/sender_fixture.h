@@ -68,7 +68,7 @@ class SenderFixture {
   void advance(Seconds dt) { sim_.run_until(sim_.now() + to_sim_time(dt)); }
 
   PacketPtr make_ack(std::int64_t ackno, std::uint8_t mrai = 5,
-                     bool marked = false, std::vector<SackBlock> sacks = {},
+                     bool marked = false, SackList sacks = {},
                      SimTime ts_echo = SimTime::zero()) {
     PacketPtr p = dst_->new_packet(0, IpProto::kTcp, 40);
     TcpHeader h;
@@ -78,7 +78,7 @@ class SenderFixture {
     h.dst_port = 1000;
     h.mrai = mrai;
     h.marked = marked;
-    h.sacks = std::move(sacks);
+    h.sacks = sacks;
     h.ts_echo = ts_echo;
     p->l4 = std::move(h);
     return p;
@@ -102,7 +102,7 @@ class SenderFixture {
 
   // Injects `n` duplicate ACKs for `ackno`.
   void dup_acks(std::int64_t ackno, int n, bool marked = false,
-                std::vector<SackBlock> sacks = {}) {
+                SackList sacks = {}) {
     for (int i = 0; i < n; ++i) {
       inject(make_ack(ackno, 5, marked, sacks));
     }

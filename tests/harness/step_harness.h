@@ -164,7 +164,7 @@ struct InjectAck {
   std::int64_t seq = 0;
   std::uint8_t drai = kDraiAggressiveAccel;
   bool ecn = false;
-  std::vector<SackBlock> sack_blocks{};
+  SackList sack_blocks{};
   Seconds rtt{0.0};
 
   std::string describe() const {

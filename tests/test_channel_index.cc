@@ -1,0 +1,352 @@
+// Differential tests: the spatial-index channel against the brute-force
+// reference scan.
+//
+// Two identical worlds are built — same seed, same node positions, same
+// scripted transmissions and mobility — one over ChannelMode::kSpatialIndex
+// and one over kBruteForce. Every observable the channel produces (carrier
+// busy/idle transitions, decoded frames, corruption flags, and the order in
+// which all of it happens) must match event for event. The brute-force scan
+// is the oracle: anything the grid gets wrong — a missed boundary receiver,
+// a stale cell after a move, a candidate visited out of attach order (which
+// would permute error-model RNG draws) — shows up as a log diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "phy/spatial_grid.h"
+#include "phy/wireless_phy.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace muzha {
+namespace {
+
+// One observable event, in the order the simulation produced it.
+struct LogEvent {
+  std::int64_t t_ns;
+  NodeId phy;
+  enum Kind : std::uint8_t { kCarrier, kRx } kind;
+  bool flag;          // kCarrier: busy; kRx: corrupted
+  std::uint64_t uid;  // kRx with a decodable frame: packet uid (0 otherwise)
+
+  friend bool operator==(const LogEvent&, const LogEvent&) = default;
+};
+
+// A full simulation world over one channel mode.
+class World {
+ public:
+  World(ChannelMode mode, std::uint64_t seed,
+        const std::vector<Position>& positions, double error_rate)
+      : sim_(seed), channel_(sim_, PhyParams{}, mode) {
+    if (error_rate > 0.0) {
+      channel_.set_error_model(
+          std::make_unique<UniformErrorModel>(Probability(error_rate)));
+    }
+    phys_.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      phys_.push_back(std::make_unique<WirelessPhy>(
+          sim_, channel_, static_cast<NodeId>(i), positions[i]));
+      WirelessPhy* phy = phys_.back().get();
+      NodeId id = static_cast<NodeId>(i);
+      phy->set_channel_state_callback([this, id](bool busy) {
+        log_.push_back({sim_.now().ns(), id, LogEvent::kCarrier, busy, 0});
+      });
+      phy->set_rx_callback([this, id](PacketPtr pkt, bool corrupted) {
+        log_.push_back({sim_.now().ns(), id, LogEvent::kRx, corrupted,
+                        pkt ? pkt->uid : 0});
+      });
+    }
+  }
+
+  // Schedules a broadcast data transmission at `t`; skipped (identically in
+  // both worlds, since their states match) when the node is mid-TX.
+  void transmit_at(SimTime t, std::size_t node, std::uint32_t bytes) {
+    sim_.schedule_at(t, [this, node, bytes] {
+      WirelessPhy* phy = phys_[node].get();
+      if (phy->transmitting()) return;
+      PacketPtr p = alloc_packet();
+      p->uid = ++uid_counter_;
+      p->size_bytes = bytes;
+      p->mac.type = MacFrameType::kData;
+      p->mac.src = phy->id();
+      p->mac.dst = kBroadcastId;
+      phy->start_tx(std::move(p), false);
+    });
+  }
+
+  void move_at(SimTime t, std::size_t node, Position pos) {
+    sim_.schedule_at(t, [this, node, pos] {
+      phys_[node]->set_position(pos);
+    });
+  }
+
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  const std::vector<LogEvent>& log() const { return log_; }
+
+ private:
+  Simulator sim_;
+  Channel channel_;
+  std::vector<std::unique_ptr<WirelessPhy>> phys_;
+  std::vector<LogEvent> log_;
+  std::uint64_t uid_counter_ = 0;
+};
+
+void expect_logs_identical(const World& index, const World& brute) {
+  const auto& a = index.log();
+  const auto& b = brute.log();
+  ASSERT_EQ(a.size(), b.size()) << "delivery event counts diverge";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i] == b[i])
+        << "event " << i << " diverges: index saw t=" << a[i].t_ns << " phy "
+        << a[i].phy << " kind " << static_cast<int>(a[i].kind) << " flag "
+        << a[i].flag << " uid " << a[i].uid << "; brute saw t=" << b[i].t_ns
+        << " phy " << b[i].phy << " kind " << static_cast<int>(b[i].kind)
+        << " flag " << b[i].flag << " uid " << b[i].uid;
+  }
+}
+
+// Applies the same randomized script to both worlds and compares.
+void run_differential(const std::vector<Position>& positions,
+                      std::uint64_t seed, double error_rate, int transmissions,
+                      int moves, Meters field_side) {
+  World index(ChannelMode::kSpatialIndex, seed, positions, error_rate);
+  World brute(ChannelMode::kBruteForce, seed, positions, error_rate);
+
+  // Script randomness is separate from both worlds' simulation RNGs.
+  Rng script(seed ^ 0x5C819Cull);
+  SimTime horizon = SimTime::from_ms(200);
+  for (int i = 0; i < transmissions; ++i) {
+    SimTime t = SimTime::from_ns(script.uniform_int(0, horizon.ns()));
+    std::size_t node = static_cast<std::size_t>(
+        script.uniform_int(0, static_cast<std::int64_t>(positions.size()) - 1));
+    std::uint32_t bytes =
+        static_cast<std::uint32_t>(script.uniform_int(40, 1500));
+    index.transmit_at(t, node, bytes);
+    brute.transmit_at(t, node, bytes);
+  }
+  for (int i = 0; i < moves; ++i) {
+    SimTime t = SimTime::from_ns(script.uniform_int(0, horizon.ns()));
+    std::size_t node = static_cast<std::size_t>(
+        script.uniform_int(0, static_cast<std::int64_t>(positions.size()) - 1));
+    Position pos{script.uniform(0.0, field_side.value()),
+                 script.uniform(0.0, field_side.value())};
+    index.move_at(t, node, pos);
+    brute.move_at(t, node, pos);
+  }
+  index.run_until(horizon + SimTime::from_ms(50));
+  brute.run_until(horizon + SimTime::from_ms(50));
+  expect_logs_identical(index, brute);
+}
+
+std::vector<Position> random_positions(int n, Meters side, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Position> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.0, side.value()),
+                   rng.uniform(0.0, side.value())});
+  }
+  return out;
+}
+
+TEST(ChannelIndexDifferential, RandomizedDenseField) {
+  // ~2 CS ranges square: most nodes hear most transmissions.
+  run_differential(random_positions(40, Meters(1200.0), 7), 7, 0.0,
+                   /*transmissions=*/80, /*moves=*/0, Meters(1200.0));
+}
+
+TEST(ChannelIndexDifferential, RandomizedSparseFieldWithMobility) {
+  // ~6 CS ranges square: cells matter; nodes roam across cell boundaries
+  // mid-run.
+  run_differential(random_positions(60, Meters(3500.0), 21), 21, 0.0,
+                   /*transmissions=*/120, /*moves=*/150, Meters(3500.0));
+}
+
+TEST(ChannelIndexDifferential, RandomizedWithErrorModel) {
+  // The error model draws once per decodable receiver, in delivery order; a
+  // permuted candidate order would de-synchronise the corruption pattern
+  // even if the delivery *set* matched.
+  run_differential(random_positions(50, Meters(2000.0), 33), 33, 0.3,
+                   /*transmissions=*/100, /*moves=*/60, Meters(2000.0));
+}
+
+TEST(ChannelIndexDifferential, ExactBoundaryDistances) {
+  PhyParams params;
+  double rx = params.rx_range.value();  // 250
+  double cs = params.cs_range.value();  // 550
+  std::vector<Position> positions{
+      {0.0, 0.0},        // transmitter
+      {rx, 0.0},         // exactly decode range: must decode
+      {rx + 1e-9, 0.0},  // just past decode range: energy only
+      {cs, 0.0},         // exactly CS range: energy only
+      {cs + 1e-9, 0.0},  // just past CS range: silent
+      {cs - 1e-9, 0.0},  // just inside CS range, same cell edge
+      {-cs, 0.0},        // exactly CS range on the negative side
+      {cs, cs},          // corner cell, out of range (dist = cs*sqrt(2))
+      {0.0, cs},         // exactly CS range straight up
+  };
+  World index(ChannelMode::kSpatialIndex, 3, positions, 0.0);
+  World brute(ChannelMode::kBruteForce, 3, positions, 0.0);
+  for (World* w : {&index, &brute}) {
+    w->transmit_at(SimTime::from_us(10), 0, 500);
+    w->run_until(SimTime::from_ms(20));
+  }
+  expect_logs_identical(index, brute);
+
+  // Spot-check the semantics on the index side, not just agreement: node 1
+  // decoded, node 4 and node 7 heard nothing.
+  int rx_events = 0;
+  bool node1_rx = false, node4_touched = false, node7_touched = false;
+  for (const LogEvent& e : index.log()) {
+    if (e.kind == LogEvent::kRx) {
+      ++rx_events;
+      if (e.phy == 1) node1_rx = !e.flag;
+    }
+    if (e.phy == 4) node4_touched = true;
+    if (e.phy == 7) node7_touched = true;
+  }
+  EXPECT_EQ(rx_events, 1);  // only the exactly-at-rx_range node decodes
+  EXPECT_TRUE(node1_rx);
+  EXPECT_FALSE(node4_touched);
+  EXPECT_FALSE(node7_touched);
+}
+
+TEST(ChannelIndexDifferential, CellEdgePositions) {
+  PhyParams params;
+  double cell = params.cs_range.value();  // cell side == 550
+  // Nodes pinned to cell-boundary coordinates, where floor(x/cell) is most
+  // sensitive: origin, exact edges, negative coordinates.
+  std::vector<Position> positions{
+      {0.0, 0.0},
+      {cell, 0.0},
+      {2.0 * cell, 0.0},       // two cells over: outside CS of node 0
+      {-cell, 0.0},
+      {cell, cell},
+      {-0.0, -0.0},            // negative zero must land with positive zero
+      {cell - 1e-12, cell - 1e-12},
+  };
+  run_differential(positions, 9, 0.0, /*transmissions=*/30, /*moves=*/40,
+                   Meters(2.0 * cell));
+}
+
+TEST(ChannelIndexDifferential, MovesFarOutAndBack) {
+  // A node leaves the populated region entirely (its own distant cell) and
+  // returns; deliveries must track both transitions.
+  std::vector<Position> positions{{0.0, 0.0}, {100.0, 0.0}, {200.0, 0.0}};
+  World index(ChannelMode::kSpatialIndex, 5, positions, 0.0);
+  World brute(ChannelMode::kBruteForce, 5, positions, 0.0);
+  for (World* w : {&index, &brute}) {
+    w->transmit_at(SimTime::from_ms(1), 0, 300);
+    w->move_at(SimTime::from_ms(10), 1, {50'000.0, 50'000.0});
+    w->transmit_at(SimTime::from_ms(20), 0, 300);
+    w->move_at(SimTime::from_ms(30), 1, {100.0, 0.0});
+    w->transmit_at(SimTime::from_ms(40), 0, 300);
+    w->run_until(SimTime::from_ms(60));
+  }
+  expect_logs_identical(index, brute);
+  // Sanity on the index side: node 1 decoded the 1st and 3rd frame only.
+  int node1_rx = 0;
+  for (const LogEvent& e : index.log()) {
+    if (e.kind == LogEvent::kRx && e.phy == 1 && !e.flag) ++node1_rx;
+  }
+  EXPECT_EQ(node1_rx, 2);
+}
+
+// ---------------------------------------------------------------------------
+// SpatialGrid unit coverage: backref integrity through swap-pop removal,
+// cell migration and table rehash. The grid never dereferences the phy
+// pointer, so entries are tagged by order key alone here.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> gathered_orders(const SpatialGrid& grid,
+                                           Position center) {
+  std::vector<SpatialGrid::Entry> out;
+  grid.gather(center, out);
+  std::vector<std::uint64_t> orders;
+  orders.reserve(out.size());
+  for (const auto& e : out) orders.push_back(e.order);
+  std::sort(orders.begin(), orders.end());
+  return orders;
+}
+
+TEST(ChannelIndexGrid, GatherCoversThreeByThreeNeighborhood) {
+  SpatialGrid grid(Meters(550.0));
+  std::vector<SpatialGrid::Item> items(5);
+  grid.insert(nullptr, {0.0, 0.0}, 0, &items[0]);
+  grid.insert(nullptr, {549.0, 0.0}, 1, &items[1]);      // same cell
+  grid.insert(nullptr, {551.0, 0.0}, 2, &items[2]);      // east neighbor
+  grid.insert(nullptr, {-1.0, -1.0}, 3, &items[3]);      // southwest neighbor
+  grid.insert(nullptr, {1200.0, 0.0}, 4, &items[4]);     // two cells east
+  EXPECT_EQ(gathered_orders(grid, {100.0, 100.0}),
+            (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  // From the far cell, only its own 3x3 neighborhood is visible.
+  EXPECT_EQ(gathered_orders(grid, {1200.0, 0.0}),
+            (std::vector<std::uint64_t>{2, 4}));
+}
+
+TEST(ChannelIndexGrid, SwapPopRemovalKeepsBackrefsCurrent) {
+  SpatialGrid grid(Meters(550.0));
+  std::vector<SpatialGrid::Item> items(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    grid.insert(nullptr, {10.0 * static_cast<double>(i), 0.0}, i, &items[i]);
+  }
+  // Removing the first entry swap-pops the last into its slot; the last
+  // entry's backref must follow, or this second removal corrupts the cell.
+  grid.remove(&items[0]);
+  grid.remove(&items[3]);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
+            (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_FALSE(items[0].valid());
+  EXPECT_FALSE(items[3].valid());
+}
+
+TEST(ChannelIndexGrid, MoveMigratesBetweenCells) {
+  SpatialGrid grid(Meters(550.0));
+  std::vector<SpatialGrid::Item> items(2);
+  grid.insert(nullptr, {10.0, 10.0}, 0, &items[0]);
+  grid.insert(nullptr, {20.0, 20.0}, 1, &items[1]);
+  grid.move(&items[0], {5000.0, 5000.0});  // far cell
+  EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(gathered_orders(grid, {5000.0, 5000.0}),
+            (std::vector<std::uint64_t>{0}));
+  grid.move(&items[0], {15.0, 15.0});  // back home
+  EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
+            (std::vector<std::uint64_t>{0, 1}));
+  // In-place move within the same cell.
+  grid.move(&items[1], {30.0, 30.0});
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
+            (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(ChannelIndexGrid, RehashRewritesEveryBackref) {
+  SpatialGrid grid(Meters(550.0));
+  // 200 entries in 200 distinct cells forces multiple rehashes of the
+  // initial 64-bucket table.
+  constexpr int kN = 200;
+  std::vector<SpatialGrid::Item> items(kN);
+  for (int i = 0; i < kN; ++i) {
+    grid.insert(nullptr, {550.0 * 2.0 * i + 1.0, 0.0},
+                static_cast<std::uint64_t>(i), &items[i]);
+  }
+  EXPECT_EQ(grid.size(), static_cast<std::size_t>(kN));
+  // Every backref must still resolve: gather each entry's own neighborhood
+  // (cells are 2 apart, so each sees only itself), then remove through the
+  // backref without tripping the stale-item DCHECK.
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(gathered_orders(grid, {550.0 * 2.0 * i + 1.0, 0.0}),
+              (std::vector<std::uint64_t>{static_cast<std::uint64_t>(i)}));
+  }
+  for (int i = 0; i < kN; ++i) grid.remove(&items[i]);
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+}  // namespace
+}  // namespace muzha

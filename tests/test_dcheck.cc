@@ -3,7 +3,10 @@
 // evaluated, so instrumentation on hot paths is free.
 #include <gtest/gtest.h>
 
+#include "phy/channel.h"
+#include "phy/wireless_phy.h"
 #include "pkt/packet.h"
+#include "pkt/packet_arena.h"
 #include "sim/assert.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
@@ -46,6 +49,30 @@ TEST(DcheckDeathTest, WrongLayerHeaderAccessIsCaught) {
   std::uint64_t uid = 0;
   PacketPtr p = make_packet(uid);  // l4 is monostate: no TCP header
   EXPECT_DEATH(p->tcp(), "layer discipline");
+}
+
+TEST(DcheckDeathTest, PacketArenaDoubleFreeIsCaught) {
+  EXPECT_DEATH(
+      {
+        PacketArena arena;
+        Packet* p = arena.allocate();
+        arena.release(p);
+        arena.release(p);
+      },
+      "double free");
+}
+
+TEST(DcheckDeathTest, ChannelDoubleAttachIsCaught) {
+  Simulator sim;
+  Channel channel(sim, PhyParams{});
+  WirelessPhy phy(sim, channel, 0, {0.0, 0.0});  // ctor attaches
+  EXPECT_DEATH(channel.attach(phy), "attached twice");
+}
+
+TEST(DcheckDeathTest, SackListOverflowIsCaught) {
+  SackList sacks;
+  for (int i = 0; i < kMaxSackBlocks; ++i) sacks.push_back({i, i + 1});
+  EXPECT_DEATH(sacks.push_back({99, 100}), "SackList overflow");
 }
 
 #endif  // MUZHA_DCHECK_ENABLED

@@ -9,6 +9,8 @@
 #include <memory>
 #include <vector>
 
+#include "scenario/batch_runner.h"
+#include "scenario/city.h"
 #include "scenario/experiment.h"
 #include "tests/experiment_equal.h"
 
@@ -154,6 +156,114 @@ TEST(Determinism, GoldenThreeHopMuzhaChainPinned) {
   EXPECT_EQ(hash_series(f.cwnd_trace), 0xfa87cfb1cab94ea9ull);
   ASSERT_EQ(f.throughput_series.size(), 8u);
   EXPECT_EQ(hash_series(f.throughput_series), 0x040b1a758d6fefd1ull);
+}
+
+// The spatial-index channel (the default above) must reproduce the golden
+// chain bit-for-bit under the brute-force reference scan too: the index is a
+// pure lookup-structure change, invisible to the event schedule.
+TEST(Determinism, GoldenChainIdenticalUnderBruteForceChannel) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kChain;
+  cfg.hops = 3;
+  cfg.duration = SimTime::from_seconds(8.0);
+  cfg.seed = 42;
+  cfg.flows.push_back({TcpVariant::kMuzha, 0, 3, SimTime::zero(), 8});
+
+  ExperimentResult indexed = run_experiment(cfg);
+  cfg.brute_force_channel = true;
+  ExperimentResult brute = run_experiment(cfg);
+  expect_results_identical(indexed, brute);
+}
+
+// ---------------------------------------------------------------------------
+// City-scale golden pin: a 200-node mobile random-waypoint field. This is
+// the scenario class the spatial index exists for; the pin freezes the full
+// pipeline (placement RNG, waypoint draws, grid maintenance under motion,
+// AODV churn) in one number set. Captured with the spatial index enabled;
+// the brute-force cross-check below proves the numbers are mode-independent.
+
+ExperimentConfig city_golden_config() {
+  CityConfig city;
+  city.field.nodes = 200;
+  city.field.width = Meters(3000.0);
+  city.field.height = Meters(3000.0);
+  city.field.mobile = true;
+  city.placement = TopologyKind::kRandomField;
+  city.ftp_flows = 4;
+  city.cbr_flows = 2;
+  city.variant = TcpVariant::kMuzha;
+  city.flow_start_window = SimTime::from_seconds(2.0);
+  city.duration = SimTime::from_seconds(10.0);
+  city.seed = 42;
+  city.flow_seed = 7;
+  return make_city_config(city);
+}
+
+std::uint64_t hash_result(const ExperimentResult& r) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const FlowResult& f : r.flows) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(f.delivered));
+    h = fnv1a_u64(h, f.packets_sent);
+    h = fnv1a_u64(h, f.retransmissions);
+    h = fnv1a_u64(h, f.timeouts);
+    std::uint64_t tput_bits;
+    std::memcpy(&tput_bits, &f.throughput, 8);
+    h = fnv1a_u64(h, tput_bits);
+    h = fnv1a_u64(h, hash_series(f.cwnd_trace));
+    h = fnv1a_u64(h, hash_series(f.throughput_series));
+  }
+  h = fnv1a_u64(h, r.ifq_drops);
+  h = fnv1a_u64(h, r.mac_retry_drops);
+  h = fnv1a_u64(h, r.phy_collisions);
+  h = fnv1a_u64(h, r.channel_error_losses);
+  h = fnv1a_u64(h, r.cbr_packets_sent);
+  return h;
+}
+
+TEST(Determinism, GoldenCityFieldPinned) {
+  ExperimentResult r = run_experiment(city_golden_config());
+  ASSERT_EQ(r.flows.size(), 4u);
+  // Golden constants captured at pin time (seed 42, flow_seed 7). If an
+  // intentional protocol or scenario-generator change shifts them,
+  // re-capture and update in the same commit.
+  EXPECT_EQ(hash_result(r), 0x87CCB22252A3ED43ull);
+}
+
+TEST(Determinism, GoldenCityFieldIdenticalUnderBruteForceChannel) {
+  ExperimentConfig cfg = city_golden_config();
+  ExperimentResult indexed = run_experiment(cfg);
+  cfg.brute_force_channel = true;
+  ExperimentResult brute = run_experiment(cfg);
+  expect_results_identical(indexed, brute);
+}
+
+TEST(Determinism, CityBatchIsJobsInvariant) {
+  // Same city sweep on 1 worker and on 8: bitwise-identical results, the
+  // test_batch_runner contract extended to the field topologies.
+  auto build = [](int jobs) {
+    BatchRunner runner({jobs, 2, 99});
+    CityConfig city;
+    city.field.nodes = 60;
+    city.field.width = Meters(1500.0);
+    city.field.height = Meters(1500.0);
+    city.placement = TopologyKind::kManhattanGrid;
+    city.ftp_flows = 2;
+    city.duration = SimTime::from_seconds(5.0);
+    city.flow_seed = 3;
+    runner.add_point(make_city_config(city));
+    city.placement = TopologyKind::kRandomField;
+    runner.add_point(make_city_config(city));
+    return runner.run();
+  };
+  auto one = build(1);
+  auto eight = build(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t p = 0; p < one.size(); ++p) {
+    ASSERT_EQ(one[p].size(), eight[p].size());
+    for (std::size_t rep = 0; rep < one[p].size(); ++rep) {
+      expect_results_identical(one[p][rep], eight[p][rep]);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -10,7 +10,7 @@ namespace muzha {
 namespace {
 
 PacketPtr ip_packet(std::uint32_t bytes, NodeId src, NodeId dst) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = alloc_packet();
   p->size_bytes = bytes;
   p->ip.src = src;
   p->ip.dst = dst;

@@ -12,7 +12,7 @@ namespace {
 
 PacketPtr data_packet(std::uint32_t bytes, NodeId src = 0,
                       NodeId dst = kBroadcastId) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = alloc_packet();
   p->size_bytes = bytes;
   p->mac.type = MacFrameType::kData;
   p->mac.src = src;
@@ -182,6 +182,81 @@ TEST_F(PhyTest, UniformErrorModelCorruptsFrames) {
   EXPECT_EQ(log.ok, 0);
   EXPECT_EQ(log.corrupted, 1);
   EXPECT_EQ(channel.frames_corrupted_by_error(), 1u);
+}
+
+TEST_F(PhyTest, DetachStopsDelivery) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  auto b = std::make_unique<WirelessPhy>(sim, channel, 1, Position{100, 0});
+  WirelessPhy c(sim, channel, 2, {200, 0});
+  RxLog log_b, log_c;
+  log_b.attach(*b);
+  log_c.attach(c);
+  ASSERT_EQ(channel.attached_count(), 3u);
+
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log_b.ok, 1);
+  EXPECT_EQ(log_c.ok, 1);
+
+  channel.detach(*b);
+  EXPECT_EQ(channel.attached_count(), 2u);
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log_b.ok, 1) << "detached PHY must not receive";
+  EXPECT_EQ(log_c.ok, 2) << "remaining PHYs still receive";
+
+  // Detach is idempotent, and a detached PHY may move freely.
+  channel.detach(*b);
+  b->set_position({300, 0});
+  EXPECT_EQ(channel.attached_count(), 2u);
+}
+
+TEST_F(PhyTest, DestructorDetaches) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  {
+    WirelessPhy b(sim, channel, 1, {100, 0});
+    EXPECT_EQ(channel.attached_count(), 2u);
+  }
+  EXPECT_EQ(channel.attached_count(), 1u);
+  // Transmitting after b died must not touch the dead PHY (ASan would
+  // catch the dangling phys_/grid pointer this guards against).
+  a.start_tx(data_packet(100), false);
+  sim.run();
+}
+
+TEST_F(PhyTest, ReattachAfterDetachReceivesAgain) {
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {100, 0});
+  RxLog log;
+  log.attach(b);
+  channel.detach(b);
+  channel.attach(b);  // legal: detach cleared the attachment
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 1);
+}
+
+TEST_F(PhyTest, MovedReceiverTracksIndexAcrossCells) {
+  // Move a receiver across a cell boundary (cell side = cs_range = 550 m)
+  // and back; deliveries must follow its true position both times.
+  WirelessPhy a(sim, channel, 0, {0, 0});
+  WirelessPhy b(sim, channel, 1, {100, 0});
+  RxLog log;
+  log.attach(b);
+
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 1);
+
+  b.set_position({2000, 2000});  // far cell, out of CS range
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 1);
+
+  b.set_position({0, 200});  // back within decode range
+  a.start_tx(data_packet(100), false);
+  sim.run();
+  EXPECT_EQ(log.ok, 2);
 }
 
 TEST(ErrorModel, BerScalesWithFrameSize) {
