@@ -1,0 +1,125 @@
+// Sharded-execution benchmark (google-benchmark): one full city-scale
+// experiment per item, on a configurable number of shard event cores.
+//
+// The shard count is a process-wide flag, not a benchmark argument, so the
+// same benchmark NAMES exist in every recording and compare_bench.py lines
+// them up directly:
+//
+//   bench_shard --shards=1 --benchmark_out=BENCH_shard_pre.json
+//   bench_shard --shards=4 --benchmark_out=BENCH_shard_post.json
+//   python3 bench/compare_bench.py BENCH_shard_pre.json BENCH_shard_post.json
+//       (add --require 'BM_CityRun/nodes:1000=2' to gate the ratio)
+//
+// Scenario model: a four-district mobile city. Districts are 4.5 km-wide
+// random-waypoint strips separated by 1.1 km of empty ground — wider than
+// carrier-sense range, so the shard territories are decoupled and the
+// lookahead barrier runs at shard_max_epoch (the cheap regime sharding
+// targets; tightly coupled shards are exercised by tests/test_shard.cc,
+// not measured here). Density is ~25 nodes/km² (≈5 rx-range neighbors, so
+// AODV actually finds multi-hop routes); Muzha flows with router
+// assistance give each core a production event mix.
+//
+// The flag exists so the pre/post recordings (and the CI gate) measure the
+// SAME binary: shards=1 runs the classic single-core path through
+// run_experiment's dispatch, shards=4 the parallel engine. Note the two
+// are different RNG samples of the same scenario distribution (per-shard
+// seed streams), so this compares throughput, not bit-identical work;
+// bit-level equivalence at shards=1 is the test suite's job.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string_view>
+
+#include "scenario/city.h"
+#include "scenario/experiment.h"
+#include "scenario/sharded_experiment.h"
+
+namespace {
+
+using namespace muzha;
+
+int g_shards = 1;
+int g_jobs = 0;  // 0 = one worker per shard
+
+ExperimentConfig city_run_config(int nodes) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kRandomField;
+  cfg.field.nodes = nodes;
+  cfg.field.districts = 4;
+  cfg.field.district_gap = Meters(1100.0);
+  cfg.field.width = Meters(4 * 2500.0 + 3 * 1100.0);
+  cfg.field.height = Meters(4000.0);
+  cfg.field.mobile = true;
+  cfg.duration = SimTime::from_seconds(2.0);
+  cfg.seed = 12345;
+  cfg.flows = make_random_district_flows(8, cfg.field, TcpVariant::kMuzha,
+                                         777, SimTime::from_ms(500));
+  cfg.shards = g_shards;
+  cfg.shard_jobs = g_jobs;
+  return cfg;
+}
+
+// One complete experiment per item: build, run, collect, tear down. The
+// item rate is experiments/second, so POST/PRE in compare_bench.py is the
+// end-to-end speedup of sharding the run.
+void BM_CityRun(benchmark::State& state) {
+  ExperimentConfig cfg = city_run_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ExperimentResult r = run_experiment(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// UseRealTime is load-bearing: at shards > 1 the main thread sleeps on the
+// phase barrier while workers burn the CPU, so the default CPU-time rate
+// would be meaningless. Wall clock is the quantity sharding improves.
+BENCHMARK(BM_CityRun)
+    ->ArgNames({"nodes"})
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+// Custom main, same contract as bench_channel.cc: sanitized builds refuse
+// to write --benchmark_out files (sanitizer timings must never become
+// baselines), plus --shards/--jobs consumed before benchmark's own flag
+// parsing.
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    std::string_view arg(argv[in]);
+#ifdef MUZHA_SANITIZED
+    if (arg.rfind("--benchmark_out", 0) == 0) {
+      std::fprintf(stderr,
+                   "bench_shard: refusing --benchmark_out in a sanitized "
+                   "build (MUZHA_SANITIZE is set); sanitizer timings must "
+                   "not become baselines\n");
+      return 1;
+    }
+#endif
+    if (arg.rfind("--shards=", 0) == 0) {
+      g_shards = std::atoi(arg.substr(9).data());
+      if (g_shards < 1 || g_shards > 64) {
+        std::fprintf(stderr, "bench_shard: --shards must be in [1, 64]\n");
+        return 1;
+      }
+      continue;  // strip: benchmark would reject the unknown flag
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      g_jobs = std::atoi(arg.substr(7).data());
+      if (g_jobs < 0) {
+        std::fprintf(stderr, "bench_shard: --jobs must be >= 0\n");
+        return 1;
+      }
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,6 @@
 #include "phy/spatial_grid.h"
 
-#include <cmath>
-
+#include "phy/wireless_phy.h"
 #include "sim/assert.h"
 
 namespace muzha {
@@ -13,10 +12,6 @@ constexpr std::size_t kInitialBuckets = 64;  // power of two
 SpatialGrid::SpatialGrid(Meters cell_size) : cell_size_(cell_size.value()) {
   MUZHA_ASSERT(cell_size_ > 0.0, "SpatialGrid cell size must be positive");
   cells_.resize(kInitialBuckets);
-}
-
-std::int64_t SpatialGrid::coord_of(double v) const {
-  return static_cast<std::int64_t>(std::floor(v / cell_size_));
 }
 
 std::size_t SpatialGrid::bucket_hash(std::int64_t cx, std::int64_t cy) {
@@ -82,10 +77,18 @@ void SpatialGrid::rehash(std::size_t new_buckets) {
 void SpatialGrid::insert(WirelessPhy* phy, Position pos, std::uint64_t order,
                          Item* backref) {
   MUZHA_DCHECK(!backref->valid(), "SpatialGrid::insert: item already indexed");
-  std::uint32_t ci = obtain_cell(coord_of(pos.x), coord_of(pos.y));
+  std::int64_t cx = coord_of(pos.x);
+  std::int64_t cy = coord_of(pos.y);
+  std::uint32_t ci = obtain_cell(cx, cy);
   Cell& c = cells_[ci];
   backref->cell = ci;
   backref->slot = static_cast<std::uint32_t>(c.entries.size());
+  backref->cx = cx;
+  backref->cy = cy;
+  backref->x_lo = static_cast<double>(cx) * cell_size_ + kEdgeSlack;
+  backref->x_hi = static_cast<double>(cx + 1) * cell_size_ - kEdgeSlack;
+  backref->y_lo = static_cast<double>(cy) * cell_size_ + kEdgeSlack;
+  backref->y_hi = static_cast<double>(cy + 1) * cell_size_ - kEdgeSlack;
   c.entries.push_back(Entry{pos, order, phy, backref});
   ++entries_;
 }
@@ -114,7 +117,9 @@ void SpatialGrid::move(Item* backref, Position pos) {
   std::int64_t ncx = coord_of(pos.x);
   std::int64_t ncy = coord_of(pos.y);
   if (ncx == c.cx && ncy == c.cy) {
-    e.pos = pos;  // same cell: update in place
+    // Same cell: refresh the stored doubles and stop. Hot mobility callers
+    // avoid even this via same_cell(); direct move() calls stay correct.
+    e.pos = pos;
     return;
   }
   WirelessPhy* phy = e.phy;
@@ -130,8 +135,11 @@ void SpatialGrid::gather(Position center, std::vector<Entry>& out) const {
     for (std::int64_t dx = -1; dx <= 1; ++dx) {
       std::uint32_t ci = find_cell(ccx + dx, ccy + dy);
       if (ci == kNoCell) continue;
-      const std::vector<Entry>& es = cells_[ci].entries;
-      out.insert(out.end(), es.begin(), es.end());
+      for (const Entry& e : cells_[ci].entries) {
+        // Stored positions can be stale (in-cell moves skip the grid); emit
+        // the owner's live doubles — the loads a brute-force scan performs.
+        out.push_back(Entry{e.phy->position(), e.order, e.phy, nullptr});
+      }
     }
   }
 }

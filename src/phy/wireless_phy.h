@@ -41,7 +41,13 @@ class WirelessPhy {
   Position position() const { return pos_; }
   void set_position(Position p) {
     pos_ = p;
-    channel_.phy_moved(*this);  // keeps the spatial index current
+    // Keep the spatial index current — but only when the move actually
+    // re-buckets. In-cell moves (the common random-waypoint tick) touch no
+    // grid memory: gather() reads live positions, so the index never holds
+    // an authoritative copy of ours. When not indexed (brute-force mode or
+    // detached), grid_item_ is invalid and phy_moved() is the judge.
+    if (grid_item_.valid() && channel_.grid().same_cell(grid_item_, p)) return;
+    channel_.phy_moved(*this);
   }
 
   void set_channel_state_callback(ChannelStateCallback cb) {

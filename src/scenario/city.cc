@@ -7,41 +7,79 @@
 
 namespace muzha {
 
-std::vector<NodeId> build_random_field(Network& net, const FieldConfig& f) {
+Rect district_rect(const FieldConfig& f, int d) {
+  MUZHA_ASSERT(f.districts >= 1 && d >= 0 && d < f.districts,
+               "district index out of range");
+  if (f.districts == 1) return Rect{0.0, f.width.value(), 0.0, f.height.value()};
+  double strip = (f.width.value() -
+                  static_cast<double>(f.districts - 1) * f.district_gap.value()) /
+                 static_cast<double>(f.districts);
+  MUZHA_ASSERT(strip > 0.0, "district gaps exceed the field width");
+  double x0 = static_cast<double>(d) * (strip + f.district_gap.value());
+  return Rect{x0, x0 + strip, 0.0, f.height.value()};
+}
+
+std::vector<Position> field_positions(TopologyKind kind, const FieldConfig& f,
+                                      Rng& rng) {
   MUZHA_ASSERT(f.nodes >= 2, "field needs at least two nodes");
-  Rng& rng = net.sim().rng();
+  std::vector<Position> out;
+  out.reserve(static_cast<std::size_t>(f.nodes));
+  if (kind == TopologyKind::kRandomField) {
+    for (int i = 0; i < f.nodes; ++i) {
+      // districts == 1: rect is {0, width} x {0, height}, so these are the
+      // exact draws (same arguments, same order) of the pre-district builder.
+      Rect r = district_rect(f, district_of(f, static_cast<std::size_t>(i)));
+      out.push_back({rng.uniform(r.x0, r.x1), rng.uniform(r.y0, r.y1)});
+    }
+    return out;
+  }
+  MUZHA_ASSERT(kind == TopologyKind::kManhattanGrid,
+               "field_positions handles field topologies only");
+  MUZHA_ASSERT(f.street_pitch.value() > 0.0, "street pitch must be positive");
+  for (int i = 0; i < f.nodes; ++i) {
+    // Per-district street grid: horizontal streets span the strip at pitch
+    // multiples of the field, vertical streets at pitch multiples from the
+    // strip's left edge. districts == 1 reduces to the original full-field
+    // grid with an identical draw sequence.
+    Rect r = district_rect(f, district_of(f, static_cast<std::size_t>(i)));
+    std::int64_t h_streets =
+        static_cast<std::int64_t>(
+            std::floor((r.y1 - r.y0) / f.street_pitch.value())) +
+        1;
+    std::int64_t v_streets =
+        static_cast<std::int64_t>(
+            std::floor((r.x1 - r.x0) / f.street_pitch.value())) +
+        1;
+    Position p;
+    // Pick a street uniformly among all streets, then a point along it.
+    std::int64_t street = rng.uniform_int(0, h_streets + v_streets - 1);
+    if (street < h_streets) {
+      p.y = r.y0 + f.street_pitch.value() * static_cast<double>(street);
+      p.x = rng.uniform(r.x0, r.x1);
+    } else {
+      p.x = r.x0 + f.street_pitch.value() * static_cast<double>(street - h_streets);
+      p.y = rng.uniform(r.y0, r.y1);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<NodeId> build_random_field(Network& net, const FieldConfig& f) {
   std::vector<NodeId> ids;
   ids.reserve(static_cast<std::size_t>(f.nodes));
-  for (int i = 0; i < f.nodes; ++i) {
-    ids.push_back(net.add_node({rng.uniform(0.0, f.width.value()),
-                                rng.uniform(0.0, f.height.value())})
-                      .id());
+  for (Position p :
+       field_positions(TopologyKind::kRandomField, f, net.sim().rng())) {
+    ids.push_back(net.add_node(p).id());
   }
   return ids;
 }
 
 std::vector<NodeId> build_manhattan_field(Network& net, const FieldConfig& f) {
-  MUZHA_ASSERT(f.nodes >= 2, "field needs at least two nodes");
-  MUZHA_ASSERT(f.street_pitch.value() > 0.0, "street pitch must be positive");
-  Rng& rng = net.sim().rng();
-  // Streets run the full width/height at multiples of the pitch, both axes.
-  std::int64_t h_streets =
-      static_cast<std::int64_t>(std::floor(f.height.value() / f.street_pitch.value())) + 1;
-  std::int64_t v_streets =
-      static_cast<std::int64_t>(std::floor(f.width.value() / f.street_pitch.value())) + 1;
   std::vector<NodeId> ids;
   ids.reserve(static_cast<std::size_t>(f.nodes));
-  for (int i = 0; i < f.nodes; ++i) {
-    Position p;
-    // Pick a street uniformly among all streets, then a point along it.
-    std::int64_t street = rng.uniform_int(0, h_streets + v_streets - 1);
-    if (street < h_streets) {
-      p.y = f.street_pitch.value() * static_cast<double>(street);
-      p.x = rng.uniform(0.0, f.width.value());
-    } else {
-      p.x = f.street_pitch.value() * static_cast<double>(street - h_streets);
-      p.y = rng.uniform(0.0, f.height.value());
-    }
+  for (Position p :
+       field_positions(TopologyKind::kManhattanGrid, f, net.sim().rng())) {
     ids.push_back(net.add_node(p).id());
   }
   return ids;
@@ -111,6 +149,41 @@ std::vector<CbrFlowSpec> make_random_cbr_flows(int count, int nodes,
     f.start_time = SimTime::from_ns(static_cast<std::int64_t>(
         rng.unit() * static_cast<double>(start_window.ns())));
     flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> make_random_district_flows(int count,
+                                                 const FieldConfig& f,
+                                                 TcpVariant v,
+                                                 std::uint64_t flow_seed,
+                                                 SimTime start_window,
+                                                 int window) {
+  MUZHA_ASSERT(f.districts >= 1, "need at least one district");
+  MUZHA_ASSERT(f.nodes >= 2 * f.districts,
+               "district flows need two nodes per district");
+  FlowRng rng(flow_seed);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    int d = j % f.districts;
+    // Members of district d are {d, d + D, d + 2D, ...}.
+    std::uint64_t members = static_cast<std::uint64_t>(
+        (f.nodes - d + f.districts - 1) / f.districts);
+    FlowSpec spec;
+    spec.variant = v;
+    spec.window = window;
+    spec.src = static_cast<std::size_t>(d) +
+               static_cast<std::size_t>(rng.below(members)) *
+                   static_cast<std::size_t>(f.districts);
+    do {
+      spec.dst = static_cast<std::size_t>(d) +
+                 static_cast<std::size_t>(rng.below(members)) *
+                     static_cast<std::size_t>(f.districts);
+    } while (spec.dst == spec.src);
+    spec.start_time = SimTime::from_ns(static_cast<std::int64_t>(
+        rng.unit() * static_cast<double>(start_window.ns())));
+    flows.push_back(spec);
   }
   return flows;
 }

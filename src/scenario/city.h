@@ -26,6 +26,30 @@ namespace muzha {
 std::vector<NodeId> build_random_field(Network& net, const FieldConfig& f);
 std::vector<NodeId> build_manhattan_field(Network& net, const FieldConfig& f);
 
+// Axis-aligned placement/motion rectangle of district `d` (0-based). With
+// districts == 1 this is the whole field. Districts are vertical strips of
+// equal width separated by `district_gap`; the gaps come out of the field
+// width, so strip width is (width - (districts-1)*gap) / districts.
+struct Rect {
+  double x0 = 0.0, x1 = 0.0;
+  double y0 = 0.0, y1 = 0.0;
+};
+Rect district_rect(const FieldConfig& f, int d);
+
+// District of node index i: i % districts.
+inline int district_of(const FieldConfig& f, std::size_t i) {
+  return static_cast<int>(i % static_cast<std::size_t>(f.districts));
+}
+
+// The placement draw sequence of build_random_field / build_manhattan_field
+// as a pure function of (kind, field, rng): one Position per node, drawn in
+// node order. The builders are thin wrappers over this, so a caller with a
+// fresh Rng(seed) recovers the exact coordinates a Network built from the
+// same seed will have — the sharded-run partitioner uses that to assign
+// nodes to shards before any per-shard network exists.
+std::vector<Position> field_positions(TopologyKind kind, const FieldConfig& f,
+                                      Rng& rng);
+
 // `count` FTP flows between distinct random node pairs, starts staggered
 // uniformly over [0, start_window]. Deterministic in (count, nodes,
 // flow_seed).
@@ -39,6 +63,18 @@ std::vector<CbrFlowSpec> make_random_cbr_flows(int count, int nodes,
                                                BitsPerSecond rate,
                                                std::uint64_t flow_seed,
                                                SimTime start_window);
+
+// FTP flows whose endpoints are confined to one district: flow j runs inside
+// district j % districts, between distinct random members of that district.
+// With districts separated by more than carrier-sense range this yields a
+// field whose shards never exchange a single frame — the scaling case the
+// sharded runner is built for. Deterministic in (count, field, flow_seed).
+std::vector<FlowSpec> make_random_district_flows(int count,
+                                                 const FieldConfig& f,
+                                                 TcpVariant v,
+                                                 std::uint64_t flow_seed,
+                                                 SimTime start_window,
+                                                 int window = 32);
 
 // One-call config for the common case: an N-node mobile random-waypoint (or
 // Manhattan) field with F FTP flows of `variant` and C CBR flows.

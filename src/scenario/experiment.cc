@@ -12,6 +12,7 @@
 #include "routing/static_routing.h"
 #include "scenario/city.h"
 #include "scenario/mobility.h"
+#include "scenario/sharded_experiment.h"
 #include "sim/assert.h"
 
 namespace muzha {
@@ -137,6 +138,7 @@ void install_static_routes(Network& net) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.shards != 1) return run_sharded_experiment(cfg);
   MUZHA_ASSERT(!cfg.flows.empty(), "experiment needs at least one flow");
   Network net(cfg.seed, {}, {},
               cfg.brute_force_channel ? ChannelMode::kBruteForce
@@ -158,22 +160,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       break;
   }
 
-  // Random-waypoint motion over the field rectangle.
+  // Random-waypoint motion over the node's district rectangle (the whole
+  // field when districts == 1 — identical config values to the pre-district
+  // code, so the draw sequence is unchanged).
   std::vector<std::unique_ptr<RandomWaypointMobility>> mobility;
   if ((cfg.topology == TopologyKind::kRandomField ||
        cfg.topology == TopologyKind::kManhattanGrid) &&
       cfg.field.mobile) {
-    RandomWaypointMobility::Config mc;
-    mc.min_x = 0.0;
-    mc.max_x = cfg.field.width.value();
-    mc.min_y = 0.0;
-    mc.max_y = cfg.field.height.value();
-    mc.min_speed = cfg.field.min_speed;
-    mc.max_speed = cfg.field.max_speed;
-    mc.pause = cfg.field.pause;
-    mc.tick = cfg.field.mobility_tick;
     mobility.reserve(net.size());
     for (std::size_t i = 0; i < net.size(); ++i) {
+      Rect r = district_rect(cfg.field, district_of(cfg.field, i));
+      RandomWaypointMobility::Config mc;
+      mc.min_x = r.x0;
+      mc.max_x = r.x1;
+      mc.min_y = r.y0;
+      mc.max_y = r.y1;
+      mc.min_speed = cfg.field.min_speed;
+      mc.max_speed = cfg.field.max_speed;
+      mc.pause = cfg.field.pause;
+      mc.tick = cfg.field.mobility_tick;
       mobility.push_back(std::make_unique<RandomWaypointMobility>(
           net.sim(), net.node(i), mc));
       mobility.back()->start();

@@ -80,6 +80,16 @@ struct FieldConfig {
   MetersPerSecond max_speed = MetersPerSecond(10.0);
   SimTime pause = SimTime::from_seconds(2.0);
   SimTime mobility_tick = SimTime::from_ms(250);
+  // City districts: the field splits into `districts` vertical strips of
+  // equal width separated by `district_gap` of empty ground (the overall
+  // `width` includes the gaps). Node i belongs to district i % districts;
+  // placement AND random-waypoint motion are confined to the node's strip,
+  // so district membership is invariant over the whole run — which is what
+  // lets a sharded run cut the field along the gaps and keep node->shard
+  // ownership static. districts == 1 is the classic single-rectangle field
+  // and draws the exact same RNG sequence as before the knob existed.
+  int districts = 1;
+  Meters district_gap = Meters(1100.0);
 };
 
 // Background CBR load (no transport; competes for airtime and queues).
@@ -116,6 +126,18 @@ struct ExperimentConfig {
   // AODV by default (Table 5.1); static routing isolates transport effects.
   bool static_routing = false;
   SimTime throughput_bin = SimTime::from_seconds(1.0);
+  // Conservative parallel execution (src/scenario/sharded_experiment.h):
+  // partition the field into `shards` spatial slices, one event core per
+  // shard, synchronized by a lookahead barrier. shards == 1 runs the classic
+  // single-core path. shards > 1 is deterministic run-to-run and across
+  // `shard_jobs` values, but draws per-shard RNG streams, so its results are
+  // a different (equally valid) sample than shards == 1.
+  int shards = 1;
+  // Worker threads for the shard pool; 0 means one per shard.
+  int shard_jobs = 0;
+  // Upper bound on the lookahead window; also the window used when every
+  // shard pair is farther apart than carrier-sense range (fully decoupled).
+  SimTime shard_max_epoch = SimTime::from_ms(10);
 };
 
 struct FlowResult {

@@ -1,0 +1,115 @@
+// Conservative parallel execution of one experiment: spatial shards, one
+// event core per shard, synchronized by a lookahead barrier.
+//
+// The field is partitioned into `cfg.shards` slices along the x axis. Each
+// shard owns a disjoint subset of the nodes and runs them on a private
+// Simulator (scheduler + RNG) — a full per-shard Network — on a sticky
+// worker thread (sim/shard_exec.h). Time advances in globally agreed
+// windows [T, T+L): every shard executes its local events inside the
+// window, records each local transmission that could reach another shard's
+// territory (phy/channel.h BoundarySink), and stops. At the barrier the
+// orchestrator routes the recorded frames to their destination shards,
+// every shard injects its inbox in deterministic order, and the next window
+// opens.
+//
+// Correctness rests on the conservative lookahead: L never exceeds the
+// propagation delay across the smallest gap between two coupled shards'
+// territories, so a frame transmitted anywhere in window [T, T+L) arrives
+// at a foreign shard no earlier than T+L — always in the receiver's future.
+// Channel::deliver MUZHA_DCHECKs exactly that (the causality invariant).
+// Territories are static: a mobile node's random-waypoint rectangle is its
+// district strip (FieldConfig::districts), so node->shard ownership never
+// changes and the gap between territories never shrinks.
+//
+// Determinism: every shard's event core is sequential and seeded; the only
+// cross-shard channel is the barrier exchange, and inboxes are injected in
+// (tx_time, src_shard, seq) order — a total order independent of thread
+// scheduling. Results are therefore bit-identical run-to-run and for every
+// `shard_jobs` value. shards == 1 runs the whole experiment through the
+// same window loop with the classic single-network build and is
+// bit-identical to run_experiment(); shards > 1 partitions the RNG into
+// per-shard streams, so it is a different — equally valid, equally pinned —
+// sample of the same scenario distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pkt/packet.h"
+#include "scenario/experiment.h"
+#include "sim/sim_time.h"
+
+namespace muzha {
+
+// A frame crossing shard territory, exchanged at a lookahead barrier.
+// Carries the Packet BY VALUE: the thread-local packet arena forbids
+// cross-thread release, so the receiver clones from this plain copy into
+// its own arena (Packet has no owning members — see pkt/packet.h).
+struct BoundaryMessage {
+  SimTime tx_time;         // transmission start on the source shard
+  std::uint32_t src_shard = 0;
+  std::uint64_t seq = 0;   // per-source-shard transmission counter
+  Position src_pos;        // transmitter position at tx_time
+  SimTime duration;        // on-air time
+  std::uint64_t dst_mask = 0;  // bit s set: ship to shard s
+  Packet pkt;
+};
+
+// Deterministic merge order of an inbox: (tx_time, src_shard, seq). Total:
+// seq is unique per shard, so no two distinct messages compare equal.
+inline bool boundary_message_order(const BoundaryMessage& a,
+                                   const BoundaryMessage& b) {
+  if (a.tx_time != b.tx_time) return a.tx_time < b.tx_time;
+  if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+  return a.seq < b.seq;
+}
+
+// Per-shard static territory: the union of the motion bounds of its nodes
+// (the node position itself when static, its district rectangle when
+// mobile). Nothing a shard owns ever leaves its box.
+struct ShardBox {
+  double x0 = 0.0, x1 = 0.0;
+  double y0 = 0.0, y1 = 0.0;
+};
+
+// Minimum distance between two territories (0 when they touch or overlap).
+double shard_box_gap(const ShardBox& a, const ShardBox& b);
+
+// Minimum distance from a point to a territory (0 when inside).
+double shard_box_distance(Position p, const ShardBox& box);
+
+// Cut lines for partitioning a STATIC field: the shards-1 widest gaps of
+// the sorted x coordinates, each cut placed at the cell_size multiple
+// nearest the gap midpoint when one lies strictly inside the gap (so cuts
+// align with spatial-grid cell boundaries), else at the raw midpoint.
+// Returned ascending. Node -> shard is then "number of cuts <= x".
+// Asserts xs.size() >= shards.
+std::vector<double> shard_cuts(std::vector<double> xs, int shards,
+                               Meters cell_size);
+
+// The conservative window width: min over coupled shard pairs (gap at most
+// cs_range — only those ever exchange frames) of the propagation delay
+// across the pair's territory gap, floored at 1 ns; max_epoch when every
+// pair is decoupled. Never exceeds max_epoch.
+SimTime conservative_lookahead(const std::vector<ShardBox>& boxes,
+                               Meters cs_range, MetersPerSecond propagation,
+                               SimTime max_epoch);
+
+// Testing hooks.
+struct ShardDebugOptions {
+  // Overrides the computed lookahead window. Used by the causality death
+  // test: a window wider than the minimum cross-shard propagation delay
+  // must trip the MUZHA_DCHECK in Channel::deliver.
+  SimTime force_lookahead;  // 0 = use conservative_lookahead()
+};
+
+// Runs cfg on cfg.shards event cores (cfg.shards == 1 allowed: same window
+// machinery, classic single-network build, bit-identical to
+// run_experiment). Requirements for shards > 1:
+//  - topology kRandomField or kManhattanGrid;
+//  - mobile fields need field.districts >= shards (ownership stays static);
+//  - at least one node per shard.
+ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg,
+                                        const ShardDebugOptions& dbg = {});
+
+}  // namespace muzha

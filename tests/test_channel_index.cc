@@ -261,7 +261,53 @@ TEST(ChannelIndexDifferential, MovesFarOutAndBack) {
 // SpatialGrid unit coverage: backref integrity through swap-pop removal,
 // cell migration and table rehash. The grid never dereferences the phy
 // pointer, so entries are tagged by order key alone here.
+TEST(ChannelIndexDifferential, InCellMovesCrossRangeBoundaries) {
+  // Regression for the deferred-rebucketing fast path: every move here stays
+  // inside the mover's 550 m cell, so the grid is never updated — delivery
+  // must still track the live position as it crosses the decode (250 m) and
+  // carrier-sense (550 m... not reachable in-cell, but the rx edge is)
+  // boundaries relative to the transmitter. A stale cached entry position
+  // would freeze node 1's receptions at the initial 100 m distance.
+  std::vector<Position> positions{{10.0, 10.0}, {110.0, 10.0}};
+  World index(ChannelMode::kSpatialIndex, 13, positions, 0.0);
+  World brute(ChannelMode::kBruteForce, 13, positions, 0.0);
+  for (World* w : {&index, &brute}) {
+    w->transmit_at(SimTime::from_ms(1), 0, 300);   // 100 m: decodes
+    w->move_at(SimTime::from_ms(10), 1, {340.0, 10.0});
+    w->transmit_at(SimTime::from_ms(20), 0, 300);  // 330 m: energy only
+    w->move_at(SimTime::from_ms(30), 1, {220.0, 10.0});
+    w->transmit_at(SimTime::from_ms(40), 0, 300);  // 210 m: decodes again
+    w->run_until(SimTime::from_ms(60));
+  }
+  expect_logs_identical(index, brute);
+  int node1_rx = 0;
+  for (const LogEvent& e : index.log()) {
+    if (e.kind == LogEvent::kRx && e.phy == 1 && !e.flag) ++node1_rx;
+  }
+  EXPECT_EQ(node1_rx, 2);
+}
+
 // ---------------------------------------------------------------------------
+
+// Real PHYs for the grid unit tests: gather() reads each owner's live
+// position, so entries must point at actual WirelessPhy objects. The channel
+// runs in brute-force mode so these PHYs are not auto-indexed — each test
+// owns its own standalone SpatialGrid and inserts into it directly.
+class GridPhys {
+ public:
+  GridPhys() : sim_(1), channel_(sim_, PhyParams{}, ChannelMode::kBruteForce) {}
+
+  WirelessPhy* make(Position pos) {
+    phys_.push_back(std::make_unique<WirelessPhy>(
+        sim_, channel_, static_cast<NodeId>(phys_.size()), pos));
+    return phys_.back().get();
+  }
+
+ private:
+  Simulator sim_;
+  Channel channel_;
+  std::vector<std::unique_ptr<WirelessPhy>> phys_;
+};
 
 std::vector<std::uint64_t> gathered_orders(const SpatialGrid& grid,
                                            Position center) {
@@ -275,13 +321,19 @@ std::vector<std::uint64_t> gathered_orders(const SpatialGrid& grid,
 }
 
 TEST(ChannelIndexGrid, GatherCoversThreeByThreeNeighborhood) {
+  GridPhys world;
   SpatialGrid grid(Meters(550.0));
   std::vector<SpatialGrid::Item> items(5);
-  grid.insert(nullptr, {0.0, 0.0}, 0, &items[0]);
-  grid.insert(nullptr, {549.0, 0.0}, 1, &items[1]);      // same cell
-  grid.insert(nullptr, {551.0, 0.0}, 2, &items[2]);      // east neighbor
-  grid.insert(nullptr, {-1.0, -1.0}, 3, &items[3]);      // southwest neighbor
-  grid.insert(nullptr, {1200.0, 0.0}, 4, &items[4]);     // two cells east
+  const Position pos[5] = {
+      {0.0, 0.0},     // origin cell
+      {549.0, 0.0},   // same cell
+      {551.0, 0.0},   // east neighbor
+      {-1.0, -1.0},   // southwest neighbor
+      {1200.0, 0.0},  // two cells east
+  };
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    grid.insert(world.make(pos[i]), pos[i], i, &items[i]);
+  }
   EXPECT_EQ(gathered_orders(grid, {100.0, 100.0}),
             (std::vector<std::uint64_t>{0, 1, 2, 3}));
   // From the far cell, only its own 3x3 neighborhood is visible.
@@ -290,10 +342,12 @@ TEST(ChannelIndexGrid, GatherCoversThreeByThreeNeighborhood) {
 }
 
 TEST(ChannelIndexGrid, SwapPopRemovalKeepsBackrefsCurrent) {
+  GridPhys world;
   SpatialGrid grid(Meters(550.0));
   std::vector<SpatialGrid::Item> items(4);
   for (std::uint64_t i = 0; i < 4; ++i) {
-    grid.insert(nullptr, {10.0 * static_cast<double>(i), 0.0}, i, &items[i]);
+    Position p{10.0 * static_cast<double>(i), 0.0};
+    grid.insert(world.make(p), p, i, &items[i]);
   }
   // Removing the first entry swap-pops the last into its slot; the last
   // entry's backref must follow, or this second removal corrupts the cell.
@@ -307,23 +361,65 @@ TEST(ChannelIndexGrid, SwapPopRemovalKeepsBackrefsCurrent) {
 }
 
 TEST(ChannelIndexGrid, MoveMigratesBetweenCells) {
+  GridPhys world;
   SpatialGrid grid(Meters(550.0));
   std::vector<SpatialGrid::Item> items(2);
-  grid.insert(nullptr, {10.0, 10.0}, 0, &items[0]);
-  grid.insert(nullptr, {20.0, 20.0}, 1, &items[1]);
-  grid.move(&items[0], {5000.0, 5000.0});  // far cell
+  WirelessPhy* a = world.make({10.0, 10.0});
+  WirelessPhy* b = world.make({20.0, 20.0});
+  grid.insert(a, a->position(), 0, &items[0]);
+  grid.insert(b, b->position(), 1, &items[1]);
+  a->set_position({5000.0, 5000.0});  // far cell
+  grid.move(&items[0], a->position());
   EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
             (std::vector<std::uint64_t>{1}));
   EXPECT_EQ(gathered_orders(grid, {5000.0, 5000.0}),
             (std::vector<std::uint64_t>{0}));
-  grid.move(&items[0], {15.0, 15.0});  // back home
+  a->set_position({15.0, 15.0});  // back home
+  grid.move(&items[0], a->position());
   EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
             (std::vector<std::uint64_t>{0, 1}));
   // In-place move within the same cell.
-  grid.move(&items[1], {30.0, 30.0});
+  b->set_position({30.0, 30.0});
+  grid.move(&items[1], b->position());
   EXPECT_EQ(grid.size(), 2u);
   EXPECT_EQ(gathered_orders(grid, {0.0, 0.0}),
             (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(ChannelIndexGrid, SameCellAnswersWithoutGridUpdate) {
+  GridPhys world;
+  SpatialGrid grid(Meters(550.0));
+  SpatialGrid::Item item;
+  WirelessPhy* a = world.make({100.0, 100.0});
+  grid.insert(a, a->position(), 0, &item);
+  // Anywhere in [0, 550) x [0, 550) is the same cell; crossing either axis
+  // boundary is not. Negative coordinates bucket into cell -1 (floor).
+  EXPECT_TRUE(grid.same_cell(item, {549.9, 0.1}));
+  EXPECT_TRUE(grid.same_cell(item, {0.0, 549.9}));
+  EXPECT_FALSE(grid.same_cell(item, {550.0, 100.0}));
+  EXPECT_FALSE(grid.same_cell(item, {100.0, -0.1}));
+  // After a migrating move the cached coordinates must track the new cell.
+  a->set_position({700.0, 100.0});
+  grid.move(&item, a->position());
+  EXPECT_TRUE(grid.same_cell(item, {600.0, 0.0}));
+  EXPECT_FALSE(grid.same_cell(item, {549.0, 100.0}));
+}
+
+TEST(ChannelIndexGrid, GatherReturnsLivePositions) {
+  // In-cell moves leave stored entry positions stale by design; gather()
+  // must surface the owner's current doubles (what a brute scan would read).
+  GridPhys world;
+  SpatialGrid grid(Meters(550.0));
+  SpatialGrid::Item item;
+  WirelessPhy* a = world.make({10.0, 10.0});
+  grid.insert(a, a->position(), 0, &item);
+  a->set_position({540.0, 260.0});  // same cell: no grid update issued
+  ASSERT_TRUE(grid.same_cell(item, a->position()));
+  std::vector<SpatialGrid::Entry> out;
+  grid.gather({100.0, 100.0}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pos.x, 540.0);
+  EXPECT_EQ(out[0].pos.y, 260.0);
 }
 
 TEST(ChannelIndexGrid, RehashRewritesEveryBackref) {
@@ -331,10 +427,11 @@ TEST(ChannelIndexGrid, RehashRewritesEveryBackref) {
   // 200 entries in 200 distinct cells forces multiple rehashes of the
   // initial 64-bucket table.
   constexpr int kN = 200;
+  GridPhys world;
   std::vector<SpatialGrid::Item> items(kN);
   for (int i = 0; i < kN; ++i) {
-    grid.insert(nullptr, {550.0 * 2.0 * i + 1.0, 0.0},
-                static_cast<std::uint64_t>(i), &items[i]);
+    Position p{550.0 * 2.0 * i + 1.0, 0.0};
+    grid.insert(world.make(p), p, static_cast<std::uint64_t>(i), &items[i]);
   }
   EXPECT_EQ(grid.size(), static_cast<std::size_t>(kN));
   // Every backref must still resolve: gather each entry's own neighborhood

@@ -13,11 +13,17 @@
 #include "scenario/city.h"
 #include "scenario/experiment.h"
 #include "tests/experiment_equal.h"
+#include "tests/experiment_hash.h"
 
 namespace muzha {
 namespace {
 
+using muzha::testing::city_golden_config;
 using muzha::testing::expect_results_identical;
+using muzha::testing::fnv1a_u64;
+using muzha::testing::hash_result;
+using muzha::testing::hash_series;
+using muzha::testing::kGoldenCityHash;
 
 void expect_rerun_identical(const ExperimentConfig& cfg) {
   ExperimentResult first = run_experiment(cfg);
@@ -103,25 +109,9 @@ TEST(Determinism, InterleavedDifferentConfigsDoNotContaminate) {
 // same floating-point metric stream. If an intentional protocol change
 // shifts them, re-capture and update the constants in the same commit.
 
-std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-std::uint64_t hash_series(const TimeSeries& s) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    std::uint64_t t_bits, v_bits;
-    std::memcpy(&t_bits, &s[i].t, 8);
-    std::memcpy(&v_bits, &s[i].value, 8);
-    h = fnv1a_u64(h, t_bits);
-    h = fnv1a_u64(h, v_bits);
-  }
-  return h;
-}
+// fnv1a_u64 / hash_series / hash_result now live in
+// tests/experiment_hash.h, shared with the shard suite (test_shard.cc),
+// which must reproduce the same hashes through the sharded engine.
 
 TEST(Determinism, GoldenThreeHopMuzhaChainPinned) {
   ExperimentConfig cfg;
@@ -182,51 +172,14 @@ TEST(Determinism, GoldenChainIdenticalUnderBruteForceChannel) {
 // AODV churn) in one number set. Captured with the spatial index enabled;
 // the brute-force cross-check below proves the numbers are mode-independent.
 
-ExperimentConfig city_golden_config() {
-  CityConfig city;
-  city.field.nodes = 200;
-  city.field.width = Meters(3000.0);
-  city.field.height = Meters(3000.0);
-  city.field.mobile = true;
-  city.placement = TopologyKind::kRandomField;
-  city.ftp_flows = 4;
-  city.cbr_flows = 2;
-  city.variant = TcpVariant::kMuzha;
-  city.flow_start_window = SimTime::from_seconds(2.0);
-  city.duration = SimTime::from_seconds(10.0);
-  city.seed = 42;
-  city.flow_seed = 7;
-  return make_city_config(city);
-}
-
-std::uint64_t hash_result(const ExperimentResult& r) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const FlowResult& f : r.flows) {
-    h = fnv1a_u64(h, static_cast<std::uint64_t>(f.delivered));
-    h = fnv1a_u64(h, f.packets_sent);
-    h = fnv1a_u64(h, f.retransmissions);
-    h = fnv1a_u64(h, f.timeouts);
-    std::uint64_t tput_bits;
-    std::memcpy(&tput_bits, &f.throughput, 8);
-    h = fnv1a_u64(h, tput_bits);
-    h = fnv1a_u64(h, hash_series(f.cwnd_trace));
-    h = fnv1a_u64(h, hash_series(f.throughput_series));
-  }
-  h = fnv1a_u64(h, r.ifq_drops);
-  h = fnv1a_u64(h, r.mac_retry_drops);
-  h = fnv1a_u64(h, r.phy_collisions);
-  h = fnv1a_u64(h, r.channel_error_losses);
-  h = fnv1a_u64(h, r.cbr_packets_sent);
-  return h;
-}
-
 TEST(Determinism, GoldenCityFieldPinned) {
   ExperimentResult r = run_experiment(city_golden_config());
   ASSERT_EQ(r.flows.size(), 4u);
-  // Golden constants captured at pin time (seed 42, flow_seed 7). If an
-  // intentional protocol or scenario-generator change shifts them,
-  // re-capture and update in the same commit.
-  EXPECT_EQ(hash_result(r), 0x87CCB22252A3ED43ull);
+  // Golden constant captured at pin time (seed 42, flow_seed 7; the config
+  // and hash live in tests/experiment_hash.h). If an intentional protocol
+  // or scenario-generator change shifts it, re-capture and update in the
+  // same commit.
+  EXPECT_EQ(hash_result(r), kGoldenCityHash);
 }
 
 TEST(Determinism, GoldenCityFieldIdenticalUnderBruteForceChannel) {
