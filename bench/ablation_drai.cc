@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   const int seeds = quick ? 1 : 3;
   const int hops = 8;
-  const double duration_s = 30.0;
+  const Seconds duration(30.0);
 
   std::printf("=== Ablation: DRAI thresholds, Muzha on an %d-hop chain ===\n",
               hops);
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     double thr = 0, retx = 0, to = 0;
     for (int s = 0; s < seeds; ++s) {
       ExperimentConfig cfg =
-          chain_single_flow(TcpVariant::kMuzha, hops, 32, duration_s, 1 + s);
+          chain_single_flow(TcpVariant::kMuzha, hops, 32, duration, 1 + s);
       cfg.drai.u_aggressive_accel = k.u5;
       cfg.drai.u_moderate_accel = k.u4;
       cfg.drai.u_stabilize = k.u3;

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const double error_rates[] = {0.0, 0.01, 0.03, 0.05};
   const int seeds = quick ? 1 : 3;
   const int hops = 8;
-  const double duration_s = 30.0;
+  const Seconds duration(30.0);
 
   std::printf("=== Ablation: random-loss discrimination, %d-hop chain ===\n",
               hops);
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       for (int mode = 0; mode < 3; ++mode) {
         ExperimentConfig cfg = chain_single_flow(
             mode == 2 ? TcpVariant::kNewReno : TcpVariant::kMuzha, hops, 32,
-            duration_s, 1 + s);
+            duration, 1 + s);
         cfg.uniform_error_rate = er;
         cfg.muzha_loss_discrimination = (mode == 0);
         auto res = run_experiment(cfg);

@@ -53,12 +53,12 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
 // Single flow over an h-hop chain (Simulation 1 & 2 setup). The seed is a
 // placeholder: BatchRunner overwrites it with the derived per-run seed.
 inline ExperimentConfig chain_single_flow(TcpVariant v, int hops, int window,
-                                          double duration_s,
+                                          Seconds duration,
                                           std::uint64_t seed = 1) {
   ExperimentConfig cfg;
   cfg.topology = TopologyKind::kChain;
   cfg.hops = hops;
-  cfg.duration = SimTime::from_seconds(duration_s);
+  cfg.duration = to_sim_time(duration);
   cfg.seed = seed;
   cfg.flows.push_back({v, 0, static_cast<std::size_t>(hops),
                        SimTime::zero(), window});

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       double thr = 0, retx = 0;
       for (int s = 0; s < seeds; ++s) {
         auto res =
-            run_experiment(chain_single_flow(v, hops, 32, 30.0, 1 + s));
+            run_experiment(chain_single_flow(v, hops, 32, Seconds(30.0), 1 + s));
         thr += res.flows[0].throughput.value() / 1e3 / seeds;
         retx += static_cast<double>(res.flows[0].retransmissions) / seeds;
       }

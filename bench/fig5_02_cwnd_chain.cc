@@ -14,14 +14,14 @@
 namespace {
 
 void print_trace(const char* label, const muzha::TimeSeries& trace,
-                 double t_end_s, double step_s) {
+                 muzha::Seconds t_end, muzha::Seconds step) {
   std::printf("%s t_s:", label);
   muzha::CwndTracer stepper;  // reuse step interpolation via a local copy
   (void)stepper;
   // Step-interpolate the change-event series onto a regular grid.
   std::size_t idx = 0;
   double v = 0.0;
-  for (double t = 0.0; t <= t_end_s + 1e-9; t += step_s) {
+  for (double t = 0.0; t <= t_end.value() + 1e-9; t += step.value()) {
     while (idx < trace.size() && trace[idx].t.value() <= t) {
       v = trace[idx].value;
       ++idx;
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   std::vector<int> hop_counts = quick ? std::vector<int>{4}
                                       : std::vector<int>{4, 8, 16};
   const int window = 32;  // let the variants show their window dynamics
-  const double duration_s = 10.0;
+  const Seconds duration(10.0);
 
   for (int hops : hop_counts) {
     int fig = hops == 4 ? 2 : (hops == 8 ? 4 : 6);
@@ -49,13 +49,13 @@ int main(int argc, char** argv) {
                 fig + 1, hops);
     for (TcpVariant v : kPaperVariants) {
       auto res = run_experiment(
-          chain_single_flow(v, hops, window, duration_s, /*seed=*/1));
+          chain_single_flow(v, hops, window, duration, /*seed=*/1));
       const FlowResult& f = res.flows[0];
       char label[64];
       std::snprintf(label, sizeof(label), "%-8s [0-10s]", variant_name(v));
-      print_trace(label, f.cwnd_trace, duration_s, 0.1);
+      print_trace(label, f.cwnd_trace, duration, Seconds(0.1));
       std::snprintf(label, sizeof(label), "%-8s [0-2s] ", variant_name(v));
-      print_trace(label, f.cwnd_trace, 2.0, 0.025);
+      print_trace(label, f.cwnd_trace, Seconds(2.0), Seconds(0.025));
       std::printf("%-8s summary: thr=%.1f kbps retx=%llu timeouts=%llu\n",
                   variant_name(v), f.throughput.value() / 1e3,
                   static_cast<unsigned long long>(f.retransmissions),

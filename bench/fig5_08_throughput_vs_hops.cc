@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::vector<int> hop_counts = args.quick ? std::vector<int>{4, 8}
                                            : std::vector<int>{4, 8, 16, 24, 32};
   const std::size_t seeds = args.quick ? 1 : 3;
-  const double duration_s = 30.0;
+  const Seconds duration(30.0);
 
   // One point per (window, hops, variant); the runner replicates each across
   // seeds and sweeps everything on the pool at once.
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   for (int window : windows) {
     for (int hops : hop_counts) {
       for (TcpVariant v : kPaperVariants) {
-        runner.add_point(chain_single_flow(v, hops, window, duration_s));
+        runner.add_point(chain_single_flow(v, hops, window, duration));
       }
     }
   }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   // Medium capture makes per-seed splits extreme in both directions; the
   // paper's qualitative fairness story only emerges in the seed average.
   const std::size_t seeds = args.quick ? 1 : 5;
-  const double duration_s = 50.0;
+  const Seconds duration(50.0);
   const Pairing pairings[] = {
       {TcpVariant::kNewReno, TcpVariant::kVegas},   // Fig 5.16
       {TcpVariant::kNewReno, TcpVariant::kMuzha},   // Fig 5.17
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       ExperimentConfig cfg;
       cfg.topology = TopologyKind::kCross;
       cfg.hops = hops;
-      cfg.duration = SimTime::from_seconds(duration_s);
+      cfg.duration = to_sim_time(duration);
       // Horizontal arm nodes come first (0..hops), vertical arm shares the
       // centre; flow A runs across the horizontal arm, flow B across the
       // vertical one.

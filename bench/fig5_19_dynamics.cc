@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace muzha::bench;
 
   bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const double duration_s = quick ? 30.0 : 60.0;
-  const double starts_s[] = {0.0, 10.0, 20.0};
+  const Seconds duration = quick ? Seconds(30.0) : Seconds(60.0);
+  const Seconds starts[] = {Seconds(0.0), Seconds(10.0), Seconds(20.0)};
 
   for (TcpVariant v : kPaperVariants) {
     int fig = v == TcpVariant::kMuzha ? 19
@@ -28,11 +28,11 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.topology = TopologyKind::kChain;
     cfg.hops = 4;
-    cfg.duration = SimTime::from_seconds(duration_s);
+    cfg.duration = to_sim_time(duration);
     cfg.seed = 7;
     cfg.throughput_bin = SimTime::from_seconds(1.0);
-    for (double st : starts_s) {
-      cfg.flows.push_back({v, 0, 4, SimTime::from_seconds(st), 32});
+    for (Seconds st : starts) {
+      cfg.flows.push_back({v, 0, 4, to_sim_time(st), 32});
     }
     auto res = run_experiment(cfg);
 
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       const TimeSeries& ts = res.flows[fi].throughput_series;
       int cnt = 0;
       for (const TimePoint& pt : ts) {
-        if (pt.t.value() >= duration_s * 2.0 / 3.0) {
+        if (pt.t.value() >= duration.value() * 2.0 / 3.0) {
           share[fi] += pt.value;
           ++cnt;
         }

@@ -92,7 +92,7 @@ void BM_ChainSimulatedSecond(benchmark::State& state) {
   const int hops = static_cast<int>(state.range(0));
   for (auto _ : state) {
     auto cfg = bench::chain_single_flow(TcpVariant::kNewReno, hops, 32,
-                                        /*duration_s=*/1.0, /*seed=*/1);
+                                        Seconds(1.0), /*seed=*/1);
     auto res = run_experiment(cfg);
     benchmark::DoNotOptimize(res.flows[0].delivered);
   }
@@ -102,7 +102,8 @@ BENCHMARK(BM_ChainSimulatedSecond)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecon
 // Muzha-specific: full router-assist path enabled.
 void BM_MuzhaChainSimulatedSecond(benchmark::State& state) {
   for (auto _ : state) {
-    auto cfg = bench::chain_single_flow(TcpVariant::kMuzha, 8, 32, 1.0, 1);
+    auto cfg = bench::chain_single_flow(TcpVariant::kMuzha, 8, 32,
+                                        Seconds(1.0), 1);
     auto res = run_experiment(cfg);
     benchmark::DoNotOptimize(res.flows[0].delivered);
   }

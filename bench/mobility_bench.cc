@@ -16,7 +16,7 @@ using namespace muzha;
 double run_once(TcpVariant v, bool mobile, double max_speed,
                 std::uint64_t seed) {
   const int hops = 8;
-  const double duration_s = 40.0;
+  const Seconds duration(40.0);
   const Meters spacing = Meters(200.0);  // 50 m slack below decode range
   Network net(seed);
   build_chain(net, hops, spacing);
@@ -57,8 +57,8 @@ double run_once(TcpVariant v, bool mobile, double max_speed,
     }
   }
 
-  net.run_until(SimTime::from_seconds(duration_s));
-  return static_cast<double>(sink.delivered()) * 1460 * 8 / duration_s / 1e3;
+  net.run_until(to_sim_time(duration));
+  return static_cast<double>(sink.delivered()) * 1460 * 8 / duration.value() / 1e3;
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
 
   BenchArgs args = parse_bench_args(argc, argv);
   const std::size_t seeds = args.quick ? 1 : 3;
-  const double duration_s = 30.0;
+  const Seconds duration(30.0);
   const TcpVariant contenders[] = {
       TcpVariant::kMuzha,  TcpVariant::kJersey, TcpVariant::kRoVegas,
       TcpVariant::kWestwood, TcpVariant::kDoor, TcpVariant::kAdtcp,
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   for (const Scenario& sc : scenarios) {
     for (TcpVariant v : contenders) {
       ExperimentConfig cfg =
-          chain_single_flow(v, sc.hops, sc.window, duration_s);
+          chain_single_flow(v, sc.hops, sc.window, duration);
       cfg.uniform_error_rate = sc.loss;
       runner.add_point(std::move(cfg));
     }

@@ -33,6 +33,7 @@ std::vector<ExperimentResult> run_batch(
   std::mutex error_mu;
   auto worker = [&] {
     for (;;) {
+      // muzha-lint: allow(relaxed-atomic): ticket counter needs only increment atomicity; the result slots it indexes are published by the join below, not by this fetch_add
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {

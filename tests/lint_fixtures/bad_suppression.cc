@@ -9,3 +9,18 @@ int lazy() {
   // muzha-lint: allow(banned-wall-clock): nothing here reads the clock -- expect: unused-suppression
   return a;
 }
+
+// The shard-safety family goes through the same meta checks: a suppression
+// of a shard rule with no justification, a misspelled shard rule id, and a
+// justified shard suppression with nothing to suppress (this file is not
+// model code, so the static below never fires mutable-static).
+int shard_lazy() {
+  // muzha-lint: allow(mutable-static) -- expect: bad-suppression
+  static int calls = 0;
+  // muzha-lint: allow(shard-unsafe): no such rule family member -- expect: unknown-rule
+  // muzha-lint: allow(lock-discipline): no primitive on the next line -- expect: unused-suppression
+  return ++calls;
+}
+
+// Meta rules themselves cannot be suppressed: naming one is unknown-rule.
+// muzha-lint: allow(unused-suppression): trying to silence the meta layer -- expect: unknown-rule

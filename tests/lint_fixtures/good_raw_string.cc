@@ -1,0 +1,24 @@
+// Fixture: raw string literals are stripped by the lexer — banned tokens
+// inside R"(...)" (including custom delimiters and embedded newlines) must
+// produce no findings, and line numbering must stay exact for real findings
+// after a multi-line raw string. Not compiled — read only by muzha-lint.
+#include <cstdlib>
+#include <string>
+
+const char* kBannedSoup = R"(std::rand() time(nullptr) srand(1) float x;)";
+
+const char* kCustomDelim = R"lint(thread_local int inside; std::mutex mu;)lint";
+
+const char* kMultiLine = R"doc(
+  std::random_device rd;
+  #pragma omp parallel for
+  memory_order_relaxed
+  // muzha-lint: allow(banned-rand): a suppression inside a raw string is inert
+)doc";
+
+// A quote character inside a raw string must not derail the lexer state.
+const char* kQuoted = R"q(she said "rand()" twice)q";
+
+int real_finding_after_raw_strings() {
+  return std::rand();  // expect: banned-rand
+}

@@ -1,0 +1,39 @@
+// Fixture: mutable-static fires on every flavor of mutable static in model
+// code (this file classifies as src/mac/ — the lint_fixtures prefix is
+// stripped), and stays quiet on const/constexpr statics and static member
+// functions.
+#include <cstdint>
+#include <map>
+
+namespace muzha {
+
+static int g_frames_seen = 0;              // expect: mutable-static
+static std::map<int, int> g_dedup_cache;   // expect: mutable-static
+
+static const int kRetryLimit = 7;          // const: no finding
+static constexpr double kSlotTime = 20e-6; // constexpr: no finding
+
+inline int bump() {
+  static std::uint64_t call_count = 0;     // expect: mutable-static
+  // Accepted precision limit: `static const char*` is a mutable pointer to
+  // const chars, but the token-level rule reads the leading const as
+  // immutability. Spell such tables `static const char* const`.
+  static const char* kLabel = "mac";
+  return static_cast<int>(++call_count) + (kLabel ? 0 : 1);
+}
+
+class MacCounters {
+ public:
+  static int instances() { return instances_; }  // member fn: no finding
+
+ private:
+  static int instances_;                   // expect: mutable-static
+  static constexpr int kMaxBackoff = 1023; // constexpr member: no finding
+  int per_object_state_ = 0;               // plain member: no finding
+};
+
+// A justified suppression is honored (and therefore not unused).
+// muzha-lint: allow(mutable-static): fixture proves suppressions work on this rule
+static int g_suppressed_static = 0;
+
+}  // namespace muzha

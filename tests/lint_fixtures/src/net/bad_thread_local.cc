@@ -1,0 +1,22 @@
+// Fixture: thread-local-audit fires on any thread_local outside the audited
+// allowlist (this file classifies as src/net/). The allowlisted spellings
+// live in the companion fixture src/pkt/packet_arena.cc.
+namespace muzha {
+
+struct ScratchBuffer {
+  int data[64] = {};
+};
+
+ScratchBuffer& scratch() {
+  thread_local ScratchBuffer buf;  // expect: thread-local-audit
+  return buf;
+}
+
+thread_local int g_worker_hint = -1;  // expect: thread-local-audit
+
+ScratchBuffer& shared_scratch() {
+  static ScratchBuffer buf;  // expect: mutable-static
+  return buf;
+}
+
+}  // namespace muzha

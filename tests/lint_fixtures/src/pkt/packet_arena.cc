@@ -1,0 +1,20 @@
+// Negative fixture: this path classifies as src/pkt/packet_arena.cc, which
+// is on BOTH the thread-local-audit and lock-discipline allowlists — nothing
+// here may be reported. (The real arena is exactly this shape: one
+// thread_local pool per worker.)
+#include <atomic>
+
+namespace muzha {
+
+struct FixtureArena {
+  int live = 0;
+};
+
+FixtureArena& fixture_arena_local() {
+  thread_local FixtureArena arena;  // allowlisted: no finding
+  return arena;
+}
+
+std::atomic<int> g_arena_count{0};  // allowlisted for lock-discipline
+
+}  // namespace muzha

@@ -1,0 +1,39 @@
+// Fixture: boundary-escape fires on members that alias instead of own in
+// types whose instances cross shard threads at the lookahead barrier. The
+// closure is seeded by name (anything containing "Boundary"), spreads to
+// by-value member types — including FixtureCarrier, declared in the
+// SEPARATE fixture file boundary_escape_carrier.h, proving the cross-file
+// pass — and to subclasses of adjacent types.
+#include "boundary_escape_carrier.h"
+
+namespace muzha {
+
+class Packet;
+class SimClock;
+
+struct BoundaryEnvelope {
+  long tx_time_ns = 0;
+  FixtureCarrier carrier;         // by value: pulls FixtureCarrier into the closure
+  Packet* stale = nullptr;        // expect: boundary-escape
+  const SimClock& clock_ref;      // expect: boundary-escape
+};
+
+// Subclasses of an adjacent type observe cross-shard traffic, so they join
+// the closure too.
+struct BoundaryEnvelopeExt : BoundaryEnvelope {
+  Packet* also_stale = nullptr;   // expect: boundary-escape
+};
+
+// Carrying the Packet BY VALUE is the sanctioned pattern: no finding.
+struct BoundaryValueOk {
+  long tx_time_ns = 0;
+  Packet clone_me();
+};
+
+// Not named Boundary*, not reachable from one, not a subclass: raw Packet
+// pointers here are ordinary thread-confined state — no finding.
+struct FreeCarrier {
+  Packet* fine_here = nullptr;
+};
+
+}  // namespace muzha

@@ -1,0 +1,18 @@
+// Companion to bad_boundary_escape.cc: FixtureCarrier is never named
+// Boundary*, but it is a by-value member of BoundaryEnvelope (declared in
+// the OTHER file), so pass 2 pulls it into the boundary closure and its
+// aliasing members are reported here — the cross-file property under test.
+#pragma once
+
+namespace muzha {
+
+class Packet;
+
+struct FixtureCarrier {
+  long seq = 0;
+  Packet* raw = nullptr;   // expect: boundary-escape
+  PacketPtr owned;         // expect: boundary-escape
+  double weight = 1.0;
+};
+
+}  // namespace muzha

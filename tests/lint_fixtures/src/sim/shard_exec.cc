@@ -1,0 +1,30 @@
+// Negative fixture: this path classifies as src/sim/shard_exec.cc — the one
+// file whose job IS synchronization. Locks, condition variables, relaxed
+// orderings and fences are all allowlisted here; nothing may be reported.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace muzha {
+
+class FixtureExec {
+ public:
+  void post() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    ready_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> ready_{false};
+  int epoch_ = 0;
+};
+
+}  // namespace muzha

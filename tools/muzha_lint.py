@@ -1,21 +1,36 @@
 #!/usr/bin/env python3
-"""muzha-lint: determinism & memory-safety checker for the Muzha simulator.
+"""muzha-lint v2: determinism, memory-safety & shard-safety checker.
 
 The simulator's headline property is bit-determinism: a (scenario, seed) pair
 fully determines every event, RNG draw and floating-point metric. The test
 suite pins that with byte-identity and golden-hash tests, but nothing stops a
 refactor from *introducing* a hazard that only diverges on another machine or
-allocator. This checker mechanically bans the constructs that leak wall-clock
-time, hash-bucket layout or address-space randomization into model behavior,
-plus the classic C++ memory-safety foot-guns on polymorphic agents.
+allocator — or, now that one run executes on several threads (BatchRunner
+worker pools, sharded event cores, the thread-local packet arena), a hazard
+that only diverges under a different thread schedule. This checker
+mechanically bans the constructs that leak wall-clock time, hash-bucket
+layout, address-space randomization or cross-thread mutation into model
+behavior, plus the classic C++ memory-safety foot-guns on polymorphic agents.
 
-It is a token/AST-lite checker: comments and string literals are stripped,
-class bodies are brace-matched, and everything else is line-oriented regex.
+It is a two-pass, token/AST-lite analyzer:
+
+  pass 1 (per file)  lex the file (comments, string and raw-string literals
+                     stripped), collect facts: class declarations with their
+                     member fields and bases, suppression comments, statics,
+                     thread_local/mutex/atomic sites, #includes, names
+                     declared with unordered container types.
+  pass 2 (project)   close the facts over the whole scanned set — the
+                     polymorphic-class closure feeds `slicing`, the
+                     boundary-type closure feeds `boundary-escape` — then
+                     evaluate every rule and apply per-file suppressions.
+
 That is deliberate — it runs in milliseconds as a ctest with zero
 dependencies, and the rules target constructs that are reliably visible at
-token level. (Raw string literals are not handled; the codebase has none.)
+token level. Raw string literals are stripped like ordinary literals (their
+contents can never produce findings); declarations split across lines may
+evade the line-oriented rules, which is the accepted precision limit.
 
-Rules (see DESIGN.md "Correctness tooling" for the catalog):
+Determinism rules (see DESIGN.md "Correctness tooling" for the catalog):
 
   banned-rand        libc/global RNGs (std::rand, srand, drand48, random(),
                      std::random_device) — all randomness must flow from the
@@ -41,13 +56,56 @@ Rules (see DESIGN.md "Correctness tooling" for the catalog):
   virtual-dtor       non-final class with virtual methods, no base class and
                      no virtual destructor — deleting through a base pointer
                      is UB.
-  slicing            by-value parameter of a polymorphic class — copies the
-                     base subobject and silently drops the derived state.
+  slicing            by-value parameter of a polymorphic class (classes are
+                     collected project-wide in pass 1) — copies the base
+                     subobject and silently drops the derived state.
   raw-unit-double    double/float variable, member or parameter whose name
                      carries a unit suffix (_m, _s, _bps, _dbm, _mps, ...) —
                      dimensioned quantities must use the strong types in
                      src/sim/units.h (Meters, Seconds, BitsPerSecond, ...),
                      which that file alone is exempt from.
+
+Shard-safety rules (the threaded runtime's isolation discipline — one event
+core per shard, one arena per thread, synchronization only at the barrier):
+
+  mutable-static     non-const static (namespace-scope, function-local or
+                     class-static data member) in model code under
+                     src/{sim,phy,mac,net,pkt,tcp,core,relwork,routing,app,
+                     stats} — a mutable static is shared by every shard
+                     thread at once: a data race and a cross-run
+                     determinism leak. Model state lives in objects owned
+                     by one shard.
+  thread-local-audit thread_local anywhere outside the audited allowlist
+                     (src/pkt/packet_arena.*, src/sim/shard_exec.*) —
+                     per-thread state silently keys behavior on which
+                     worker runs the code; every instance must be designed
+                     for, not introduced in passing.
+  lock-discipline    mutex/atomic/condition_variable/thread primitives (or
+                     their headers) outside the threaded-runtime allowlist
+                     (src/sim/shard_exec.*, src/scenario/batch_runner.*,
+                     src/scenario/sharded_experiment.*,
+                     src/pkt/packet_arena.*) — model code must be lock-free
+                     by construction (shard isolation), not by locking; a
+                     lock in model code means shared mutable state exists.
+  relaxed-atomic     memory_order_relaxed / memory_order_consume / raw
+                     atomic fences outside src/sim/shard_exec.* — weak
+                     orderings need a happens-before argument; outside the
+                     one file whose job is synchronization they require a
+                     justified suppression spelling that argument out.
+  boundary-escape    raw Packet*/PacketPtr/reference members in
+                     BoundaryMessage-adjacent types (anything named
+                     Boundary*, every type reachable from one as a member
+                     field, every subclass of one — closed project-wide in
+                     pass 2) — boundary types are copied across shard
+                     threads at the lookahead barrier; a raw pointer or
+                     reference member would alias one shard's (or one
+                     thread-local arena's) memory from another thread.
+                     Cross-shard payloads carry Packet BY VALUE.
+
+Paths under tests/lint_fixtures/ are classified by their path with that
+prefix stripped, so a fixture at tests/lint_fixtures/src/mac/x.cc exercises
+the model-code scoping and one at tests/lint_fixtures/src/sim/shard_exec.cc
+exercises an allowlist.
 
 Suppressions (each must carry a one-line justification after the colon):
 
@@ -60,7 +118,13 @@ rule id, or one that suppresses nothing is itself reported (bad-suppression /
 unknown-rule / unused-suppression): dead suppressions rot into blanket
 exemptions.
 
+The rule catalog above is verified against the RULES table by
+tools/test_muzha_lint.py (as is DESIGN.md's table), so the three can never
+drift apart again.
+
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage error.
+With --github, findings are additionally emitted as GitHub Actions
+`::error file=...` workflow commands so they annotate PRs inline.
 """
 
 from __future__ import annotations
@@ -85,6 +149,17 @@ RULES = {
     "virtual-dtor": "polymorphic class without virtual destructor: deletion via base pointer is UB",
     "slicing": "by-value parameter of polymorphic type: slices off derived state",
     "raw-unit-double": "unit-suffixed raw double: use the quantity types in sim/units.h",
+    # Shard-safety family: the threaded runtime's isolation discipline.
+    "mutable-static": "mutable static in model code: shared across every shard thread, "
+                      "a data race and a determinism leak",
+    "thread-local-audit": "thread_local outside the audited allowlist "
+                          "(packet_arena, shard_exec): per-thread state keys behavior on the worker",
+    "lock-discipline": "synchronization primitive outside the threaded-runtime allowlist: "
+                       "model code is lock-free by shard isolation, not by locking",
+    "relaxed-atomic": "relaxed/consume ordering or raw fence outside shard_exec: "
+                      "needs a justified happens-before argument",
+    "boundary-escape": "raw pointer/reference member in a boundary-crossing type: "
+                       "aliases one shard's memory from another thread",
     # Meta rules (not suppressible, no fixtures needed beyond the dedicated ones).
     "bad-suppression": "suppression without a justification",
     "unknown-rule": "suppression names an unknown rule id",
@@ -92,6 +167,40 @@ RULES = {
 }
 
 META_RULES = {"bad-suppression", "unknown-rule", "unused-suppression"}
+
+# ---------------------------------------------------------------------------
+# Path classification. Fixtures under tests/lint_fixtures/ are classified by
+# their stripped path so they can exercise scoping and allowlists.
+# ---------------------------------------------------------------------------
+
+FIXTURE_PREFIX = "tests/lint_fixtures/"
+
+MODEL_DIRS = ("sim", "phy", "mac", "net", "pkt", "tcp", "core", "relwork",
+              "routing", "app", "stats")
+
+THREAD_LOCAL_ALLOW = ("src/pkt/packet_arena.", "src/sim/shard_exec.")
+
+LOCK_ALLOW = ("src/sim/shard_exec.", "src/scenario/batch_runner.",
+              "src/scenario/sharded_experiment.", "src/pkt/packet_arena.")
+
+RELAXED_ALLOW = ("src/sim/shard_exec.",)
+
+
+def canonical_path(rel: str) -> str:
+    rel = rel.replace(os.sep, "/")
+    if rel.startswith(FIXTURE_PREFIX):
+        rel = rel[len(FIXTURE_PREFIX):]
+    return rel
+
+
+def is_model_code(rel: str) -> bool:
+    c = canonical_path(rel)
+    return any(c.startswith(f"src/{d}/") for d in MODEL_DIRS)
+
+
+def in_allowlist(rel: str, allow: tuple[str, ...]) -> bool:
+    c = canonical_path(rel)
+    return any(c.startswith(prefix) for prefix in allow)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,14 +221,21 @@ class Suppression:
 
 
 # ---------------------------------------------------------------------------
-# Lexing: strip comments and string literals, keep comment text per line.
+# Lexing: strip comments and string literals (raw strings included), keep
+# comment text per line.
 # ---------------------------------------------------------------------------
+
+RAW_STRING_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"(?P<delim>[^()\\\s]{0,16})\(')
+
 
 def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
     """Returns (code_lines, comment_lines), same line count as `text`.
 
-    Code lines have comments and string/char literal contents blanked;
-    comment lines hold only the comment text of that line.
+    Code lines have comments and string/char/raw-string literal contents
+    blanked; comment lines hold only the comment text of that line. Raw
+    string literals R"delim(...)delim" are recognized in code state: their
+    contents (which may span lines — line numbering is preserved) can never
+    produce findings or suppressions.
     """
     code: list[str] = []
     comments: list[str] = []
@@ -146,6 +262,21 @@ def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
             if c == "/" and nxt == "*":
                 state = "block_comment"
                 i += 2
+                continue
+            m = RAW_STRING_OPEN_RE.match(text, i)
+            if m and not (i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")):
+                # Raw string literal: blank everything through `)delim"`,
+                # preserving line structure.
+                cur_code.append('""')
+                closer = ")" + m.group("delim") + '"'
+                end = text.find(closer, m.end())
+                end = n if end == -1 else end + len(closer)
+                for j in range(m.end(), end):
+                    if text[j] == "\n":
+                        code.append("".join(cur_code))
+                        comments.append("".join(cur_comment))
+                        cur_code, cur_comment = [], []
+                i = end
                 continue
             if c == '"':
                 cur_code.append('"')
@@ -220,7 +351,7 @@ def parse_suppressions(
 
 
 # ---------------------------------------------------------------------------
-# Class parsing (for virtual-dtor and slicing)
+# Class parsing (for virtual-dtor, slicing and boundary-escape)
 # ---------------------------------------------------------------------------
 
 CLASS_HEAD_RE = re.compile(
@@ -230,12 +361,89 @@ CLASS_HEAD_RE = re.compile(
 
 
 @dataclasses.dataclass
+class MemberInfo:
+    line: int          # 1-based
+    text: str          # declaration text up to (not including) initializer
+    is_ref: bool       # T& member (not T&&)
+    is_ptr: bool       # raw pointer member
+    type_ids: list[str]  # identifiers appearing in the declared type
+
+
+@dataclasses.dataclass
 class ClassInfo:
     name: str
     line: int  # 1-based line of the head
     is_final: bool
     bases: list[str]
     body: str
+    members: list[MemberInfo] = dataclasses.field(default_factory=list)
+
+
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|enum\b|template\b|#)")
+CXX_DECL_KEYWORDS = {
+    "const", "constexpr", "static", "inline", "mutable", "volatile",
+    "unsigned", "signed", "struct", "class", "public", "private", "protected",
+    "std", "operator", "return", "if", "while", "for", "override", "final",
+}
+
+
+def parse_members(body: str, body_first_line: int) -> list[MemberInfo]:
+    """Field declarations at the top brace level of a class body.
+
+    Statements containing a '(' before any '=' are treated as function
+    declarations and skipped; nested blocks (method bodies, nested classes)
+    are skipped wholesale. Line numbers are exact, which the fixture suite
+    relies on.
+    """
+    members: list[MemberInfo] = []
+    depth = 0
+    stmt: list[str] = []
+    stmt_line: int | None = None
+    cur_line = body_first_line
+    for c in body:
+        if c == "\n":
+            cur_line += 1
+            if depth == 0 and stmt:
+                stmt.append(" ")
+            continue
+        if c == "{":
+            depth += 1
+            if depth == 1:
+                stmt, stmt_line = [], None  # function/nested-class header
+            continue
+        if c == "}":
+            depth -= 1
+            continue
+        if depth != 0:
+            continue
+        if c == ";":
+            if stmt_line is not None:
+                _classify_member("".join(stmt), stmt_line, members)
+            stmt, stmt_line = [], None
+            continue
+        if stmt_line is None and not c.isspace():
+            stmt_line = cur_line
+        stmt.append(c)
+    return members
+
+
+def _classify_member(stmt: str, line: int, out: list[MemberInfo]) -> None:
+    # Access labels can share the statement ("public: int x").
+    stmt = re.sub(r"\b(?:public|private|protected)\s*:", " ", stmt).strip()
+    if not stmt or MEMBER_SKIP_RE.match(stmt):
+        return
+    p_paren, p_eq = stmt.find("("), stmt.find("=")
+    if p_paren != -1 and (p_eq == -1 or p_paren < p_eq):
+        return  # function declaration (or ctor-style init: accepted miss)
+    decl = stmt if p_eq == -1 else stmt[:p_eq]
+    if not re.search(r"\w", decl):
+        return
+    is_ref = "&" in decl and "&&" not in decl
+    is_ptr = "*" in decl
+    ids = [w for w in re.findall(r"[A-Za-z_]\w*", decl)
+           if w not in CXX_DECL_KEYWORDS]
+    out.append(MemberInfo(line, decl.strip(), is_ref, is_ptr, ids))
 
 
 def parse_classes(code_text: str) -> list[ClassInfo]:
@@ -266,12 +474,15 @@ def parse_classes(code_text: str) -> list[ClassInfo]:
                 # last identifier of e.g. `public muzha::TraceSink`
                 if words:
                     bases.append(words[-1])
+        body = code_text[brace + 1:end]
+        body_first_line = code_text.count("\n", 0, brace) + 1
         classes.append(ClassInfo(
             name=m.group("name"),
             line=code_text.count("\n", 0, head_start) + 1,
             is_final=m.group("final") is not None,
             bases=bases,
-            body=code_text[brace + 1:end],
+            body=body,
+            members=parse_members(body, body_first_line),
         ))
     return classes
 
@@ -287,6 +498,40 @@ def collect_polymorphic(all_classes: list[ClassInfo]) -> set[str]:
                 poly.add(c.name)
                 changed = True
     return poly
+
+
+def collect_boundary_adjacent(all_classes: list[ClassInfo]) -> set[str]:
+    """Types whose instances cross shard threads at the lookahead barrier.
+
+    Seeds: every class whose name contains 'Boundary' (BoundaryMessage,
+    BoundarySink, ...). Closure: the declared type of any BY-VALUE member
+    field of an adjacent class is adjacent (it is copied across with the
+    message — pointer/reference members do not propagate: they are the
+    hazard this rule flags, not a copy), and every subclass of an adjacent
+    class is adjacent (it observes cross-shard traffic through the
+    interface). Closed over the whole scanned set, so the payload type can
+    live in another header than the message.
+    """
+    by_name = {}
+    for c in all_classes:
+        by_name.setdefault(c.name, []).append(c)
+    adjacent = {c.name for c in all_classes if "Boundary" in c.name}
+    changed = True
+    while changed:
+        changed = False
+        for c in all_classes:
+            if c.name in adjacent:
+                for mem in c.members:
+                    if mem.is_ptr or mem.is_ref:
+                        continue
+                    for tid in mem.type_ids:
+                        if tid in by_name and tid not in adjacent:
+                            adjacent.add(tid)
+                            changed = True
+            elif any(b in adjacent for b in c.bases):
+                adjacent.add(c.name)
+                changed = True
+    return adjacent
 
 
 # ---------------------------------------------------------------------------
@@ -324,6 +569,47 @@ def find_unordered_names(code_lines: list[str]) -> set[str]:
 
 
 # ---------------------------------------------------------------------------
+# Pass 1: per-file fact collection
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
+
+
+@dataclasses.dataclass
+class FileFacts:
+    rel: str
+    code_lines: list[str]
+    comment_lines: list[str]
+    suppressions: list[Suppression]
+    meta_findings: list[Finding]   # bad-suppression / unknown-rule
+    classes: list[ClassInfo]
+    includes: list[tuple[int, str]]
+    unordered_names: set[str]
+
+
+def collect_facts(path: str, rel: str) -> FileFacts:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, comment_lines = split_code_and_comments(text)
+    sups, meta = parse_suppressions(comment_lines, rel)
+    includes = []
+    for idx, line in enumerate(code_lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            includes.append((idx, m.group(1)))
+    return FileFacts(
+        rel=rel,
+        code_lines=code_lines,
+        comment_lines=comment_lines,
+        suppressions=sups,
+        meta_findings=meta,
+        classes=parse_classes("\n".join(code_lines)),
+        includes=includes,
+        unordered_names=find_unordered_names(code_lines),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Line rules
 # ---------------------------------------------------------------------------
 
@@ -335,7 +621,7 @@ def find_unordered_names(code_lines: list[str]) -> set[str]:
 RAW_UNIT_DOUBLE_RE = re.compile(
     r"\b(?:double|float)\s+[&*]?\s*"
     r"(\w+_(?:m|km|s|ms|us|mps|bps|kbps|mbps|pps|dbm|mw)_?)\b(?!\s*\()")
-RAW_UNIT_DOUBLE_EXEMPT = re.compile(r"(?:^|[\\/])src[\\/]sim[\\/]units\.h$")
+RAW_UNIT_DOUBLE_EXEMPT = "src/sim/units.h"
 
 SIMPLE_LINE_RULES: list[tuple[str, re.Pattern[str], str]] = [
     ("banned-rand", re.compile(r"\b(?:std::)?rand\s*\(\s*\)"), "std::rand()"),
@@ -374,13 +660,120 @@ SIMPLE_LINE_RULES: list[tuple[str, re.Pattern[str], str]] = [
     ("float-accum", re.compile(r"\bfloat\b"), "float type"),
 ]
 
+# --- shard-safety token patterns -------------------------------------------
 
-def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
-    with open(path, encoding="utf-8", errors="replace") as f:
-        text = f.read()
-    code_lines, comment_lines = split_code_and_comments(text)
-    sups, findings = parse_suppressions(comment_lines, rel)
+# `static` introducing a declaration; static_cast/static_assert do not match
+# (no word boundary before '_'). const/constexpr/thread_local statics are
+# immutable or handled by thread-local-audit.
+MUTABLE_STATIC_RE = re.compile(
+    r"(?:^|[{};])\s*(?:inline\s+)?static\b(?!\s*(?:const\b|constexpr\b|"
+    r"inline\s+const\b|thread_local\b|assert\b))(?P<rest>[^;]*)")
 
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+
+LOCK_TOKEN_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|atomic\w*|thread\b|"
+    r"jthread|call_once|once_flag|future|promise|async\b|packaged_task|"
+    r"latch|barrier|counting_semaphore|binary_semaphore|stop_token)")
+
+LOCK_HEADERS = {
+    "atomic", "mutex", "thread", "condition_variable", "future", "semaphore",
+    "latch", "barrier", "shared_mutex", "stop_token",
+}
+
+RELAXED_RE = re.compile(
+    r"\bmemory_order_relaxed\b|\bmemory_order_consume\b|"
+    r"\bmemory_order::relaxed\b|\bmemory_order::consume\b|"
+    r"\b(?:std::)?atomic_(?:thread|signal)_fence\s*\(|\bkill_dependency\b")
+
+
+def _static_decl_is_variable(rest: str) -> bool:
+    """True when the text after `static` declares data, not a function.
+
+    A '(' before any '=' reads as a function declaration (the most-vexing
+    ctor-call spelling `static T x(args);` is an accepted miss — brace or
+    equals initialization is the codebase idiom).
+    """
+    p_paren, p_eq = rest.find("("), rest.find("=")
+    if p_paren != -1 and (p_eq == -1 or p_paren < p_eq):
+        return False
+    # Require a declarator: at least two identifier-ish tokens or an '='.
+    return bool(re.search(r"\w[\w\s:<>,*&\[\]]*\w", rest)) or p_eq != -1
+
+
+def shard_safety_findings(facts: FileFacts,
+                          boundary_types: set[str]) -> list[Finding]:
+    rel = facts.rel
+    out: list[Finding] = []
+
+    # mutable-static: model code only.
+    if is_model_code(rel):
+        for idx, line in enumerate(facts.code_lines, start=1):
+            for m in MUTABLE_STATIC_RE.finditer(line):
+                if _static_decl_is_variable(m.group("rest")):
+                    out.append(Finding(
+                        rel, idx, "mutable-static",
+                        f"static data declaration: {RULES['mutable-static']}"))
+
+    # thread-local-audit: everywhere outside the allowlist.
+    if not in_allowlist(rel, THREAD_LOCAL_ALLOW):
+        for idx, line in enumerate(facts.code_lines, start=1):
+            if THREAD_LOCAL_RE.search(line):
+                out.append(Finding(
+                    rel, idx, "thread-local-audit",
+                    f"thread_local: {RULES['thread-local-audit']}"))
+
+    # lock-discipline: src/ outside the threaded-runtime allowlist, both
+    # primitive uses and the headers that smuggle them in.
+    if canonical_path(rel).startswith("src/") and not in_allowlist(rel, LOCK_ALLOW):
+        for idx, line in enumerate(facts.code_lines, start=1):
+            m = LOCK_TOKEN_RE.search(line)
+            if m:
+                out.append(Finding(
+                    rel, idx, "lock-discipline",
+                    f"'{m.group(0)}': {RULES['lock-discipline']}"))
+        for idx, header in facts.includes:
+            if header in LOCK_HEADERS:
+                out.append(Finding(
+                    rel, idx, "lock-discipline",
+                    f"#include <{header}>: {RULES['lock-discipline']}"))
+
+    # relaxed-atomic: everywhere outside shard_exec.
+    if not in_allowlist(rel, RELAXED_ALLOW):
+        for idx, line in enumerate(facts.code_lines, start=1):
+            m = RELAXED_RE.search(line)
+            if m:
+                out.append(Finding(
+                    rel, idx, "relaxed-atomic",
+                    f"'{m.group(0).strip('(')}': {RULES['relaxed-atomic']}"))
+
+    # boundary-escape: members of boundary-adjacent classes (project-wide
+    # closure from pass 2) that alias instead of own.
+    for cls in facts.classes:
+        if cls.name not in boundary_types:
+            continue
+        for mem in cls.members:
+            hazard = None
+            if re.search(r"\bPacket\s*\*", mem.text):
+                hazard = "raw Packet* member"
+            elif "PacketPtr" in mem.type_ids:
+                hazard = "PacketPtr member (arena pointers are thread-local)"
+            elif mem.is_ref:
+                hazard = "reference member"
+            if hazard:
+                out.append(Finding(
+                    rel, mem.line, "boundary-escape",
+                    f"{cls.name}: {hazard}: {RULES['boundary-escape']}"))
+    return out
+
+
+def file_findings(facts: FileFacts, poly_names: set[str],
+                  boundary_types: set[str]) -> list[Finding]:
+    rel = facts.rel
+    code_lines = facts.code_lines
+    findings: list[Finding] = list(facts.meta_findings)
     raw: list[Finding] = []
 
     for idx, line in enumerate(code_lines, start=1):
@@ -389,7 +782,7 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
                 raw.append(Finding(rel, idx, rule, f"{what}: {RULES[rule]}"))
 
     # raw-unit-double: everywhere except the units header itself.
-    if not RAW_UNIT_DOUBLE_EXEMPT.search(rel):
+    if canonical_path(rel) != RAW_UNIT_DOUBLE_EXEMPT:
         for idx, line in enumerate(code_lines, start=1):
             for m in RAW_UNIT_DOUBLE_RE.finditer(line):
                 raw.append(Finding(
@@ -397,8 +790,7 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
                     f"'{m.group(1)}': {RULES['raw-unit-double']}"))
 
     # unordered-iter: iteration sites over names declared unordered here.
-    unordered = find_unordered_names(code_lines)
-    if unordered:
+    if facts.unordered_names:
         iter_pats = [
             re.compile(r"for\s*\([^;()]*?:\s*(\w+)\s*\)"),          # range-for
             re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(\s*\)"),      # .begin()
@@ -407,14 +799,13 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
         for idx, line in enumerate(code_lines, start=1):
             for pat in iter_pats:
                 for m in pat.finditer(line):
-                    if m.group(1) in unordered:
+                    if m.group(1) in facts.unordered_names:
                         raw.append(Finding(
                             rel, idx, "unordered-iter",
                             f"iterating '{m.group(1)}': {RULES['unordered-iter']}"))
 
     # Class-level rules.
-    code_text = "\n".join(code_lines)
-    for cls in parse_classes(code_text):
+    for cls in facts.classes:
         has_virtual = re.search(r"\bvirtual\b", cls.body)
         has_virtual_dtor = (
             re.search(r"\bvirtual\s+~", cls.body)
@@ -424,7 +815,7 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
                 rel, cls.line, "virtual-dtor",
                 f"class '{cls.name}': {RULES['virtual-dtor']}"))
 
-    # slicing: by-value parameters of polymorphic types (from the whole scan).
+    # slicing: by-value parameters of polymorphic types (project-wide pass).
     if poly_names:
         slice_pat = re.compile(
             r"[(,]\s*(?:const\s+)?(" + "|".join(map(re.escape, sorted(poly_names)))
@@ -435,7 +826,10 @@ def lint_file(path: str, rel: str, poly_names: set[str]) -> list[Finding]:
                     rel, idx, "slicing",
                     f"'{m.group(1)}' passed by value: {RULES['slicing']}"))
 
+    raw.extend(shard_safety_findings(facts, boundary_types))
+
     # Apply suppressions.
+    sups = facts.suppressions
     for f in raw:
         sup = None
         for s in sups:
@@ -479,29 +873,33 @@ def collect_files(root: str, paths: list[str]) -> list[str]:
 
 def lint_paths(root: str, paths: list[str]) -> list[Finding]:
     files = collect_files(root, paths)
-    # Pass 1: polymorphic class names across the whole scanned set, so the
-    # slicing rule sees types declared in another header.
-    all_classes: list[ClassInfo] = []
-    per_file_code: dict[str, None] = {}
-    for path in files:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            code_lines, _ = split_code_and_comments(f.read())
-        all_classes.extend(parse_classes("\n".join(code_lines)))
-        per_file_code[path] = None
+    # Pass 1: per-file facts.
+    all_facts = [collect_facts(path, os.path.relpath(path, root))
+                 for path in files]
+    # Pass 2: project-wide closures, then rule evaluation per file.
+    all_classes = [c for facts in all_facts for c in facts.classes]
     poly = collect_polymorphic(all_classes)
+    boundary = collect_boundary_adjacent(all_classes)
 
     findings: list[Finding] = []
-    for path in files:
-        rel = os.path.relpath(path, root)
-        findings.extend(lint_file(path, rel, poly))
+    for facts in all_facts:
+        findings.extend(file_findings(facts, poly, boundary))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+def github_annotation(f: Finding) -> str:
+    msg = f.detail.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    return (f"::error file={f.path},line={f.line},"
+            f"title=muzha-lint [{f.rule}]::{msg}")
 
 
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", default=".", help="repository root (default: cwd)")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--github", action="store_true",
+                    help="also emit GitHub Actions ::error annotations")
     ap.add_argument("paths", nargs="*", default=None,
                     help="files or directories relative to --root (default: src)")
     args = ap.parse_args(argv)
@@ -516,6 +914,8 @@ def main(argv: list[str]) -> int:
     findings = lint_paths(args.root, paths)
     for f in findings:
         print(f"{f.path}:{f.line}: error: [{f.rule}] {f.detail}")
+        if args.github:
+            print(github_annotation(f))
     if findings:
         print(f"muzha-lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
