@@ -8,6 +8,8 @@
 #include <cstdint>
 
 #include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 

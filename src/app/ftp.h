@@ -3,6 +3,7 @@
 // FTP flows at 0/10/20 s).
 #pragma once
 
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "tcp/tcp_agent.h"
 

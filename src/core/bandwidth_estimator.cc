@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#include "core/drai.h"
+#include "net/wireless_device.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
 namespace muzha {
 
 BandwidthEstimator::BandwidthEstimator(Simulator& sim, WirelessDevice& device,

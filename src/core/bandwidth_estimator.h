@@ -9,7 +9,9 @@
 #include "core/drai.h"
 #include "net/agent.h"
 #include "net/wireless_device.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/units.h"
 
 namespace muzha {
 

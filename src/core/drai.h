@@ -19,7 +19,6 @@
 
 #include <cstdint>
 
-#include "pkt/packet.h"
 #include "sim/sim_time.h"
 #include "sim/units.h"
 

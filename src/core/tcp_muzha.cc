@@ -3,6 +3,11 @@
 #include <algorithm>
 
 #include "core/drai.h"
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
 
 namespace muzha {
 

@@ -17,7 +17,9 @@
 //   Timeout — CWND := 1, back to CA (never slow start).
 #pragma once
 
+#include "net/node.h"
 #include "pkt/packet.h"
+#include "sim/simulator.h"
 #include "tcp/tcp_agent.h"
 
 namespace muzha {

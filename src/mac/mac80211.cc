@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "mac/mac_params.h"
+#include "phy/wireless_phy.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/scheduler.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 

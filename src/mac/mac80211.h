@@ -20,6 +20,8 @@
 #include "phy/wireless_phy.h"
 #include "pkt/packet.h"
 #include "sim/inline_callback.h"
+#include "sim/scheduler.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 

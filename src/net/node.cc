@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "net/agent.h"
+#include "net/trace.h"
+#include "phy/channel.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/simulator.h"
 
 namespace muzha {
 

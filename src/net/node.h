@@ -10,11 +10,13 @@
 #include <map>
 #include <memory>
 
+#include "mac/mac_params.h"
 #include "net/agent.h"
 #include "net/routing_protocol.h"
 #include "net/trace.h"
 #include "net/wireless_device.h"
 #include "phy/channel.h"
+#include "phy/position.h"
 #include "pkt/packet.h"
 #include "sim/simulator.h"
 

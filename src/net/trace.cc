@@ -1,5 +1,8 @@
 #include "net/trace.h"
 
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+
 namespace muzha {
 
 const char* trace_event_name(TraceEventKind k) {

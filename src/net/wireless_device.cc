@@ -1,6 +1,11 @@
 #include "net/wireless_device.h"
 
+#include "mac/mac_params.h"
+#include "phy/channel.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/simulator.h"
 
 namespace muzha {
 

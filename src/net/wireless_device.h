@@ -2,8 +2,10 @@
 #pragma once
 
 #include "mac/mac80211.h"
+#include "mac/mac_params.h"
 #include "net/drop_tail_queue.h"
 #include "phy/channel.h"
+#include "phy/position.h"
 #include "phy/wireless_phy.h"
 #include "pkt/packet.h"
 #include "sim/inline_callback.h"

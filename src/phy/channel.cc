@@ -2,8 +2,13 @@
 
 #include <algorithm>
 
+#include "phy/position.h"
+#include "phy/spatial_grid.h"
 #include "phy/wireless_phy.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -27,6 +27,7 @@
 #include "phy/position.h"
 #include "phy/spatial_grid.h"
 #include "pkt/packet.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 
 namespace muzha {

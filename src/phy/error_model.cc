@@ -2,6 +2,11 @@
 
 #include <cmath>
 
+#include "pkt/packet.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "sim/units.h"
+
 namespace muzha {
 
 bool BerErrorModel::should_corrupt(const Packet& pkt, Meters, SimTime,

@@ -1,7 +1,9 @@
 #include "phy/spatial_grid.h"
 
+#include "phy/position.h"
 #include "phy/wireless_phy.h"
 #include "sim/assert.h"
+#include "sim/units.h"
 
 namespace muzha {
 

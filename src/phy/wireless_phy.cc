@@ -1,6 +1,13 @@
 #include "phy/wireless_phy.h"
 
+#include "phy/channel.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 

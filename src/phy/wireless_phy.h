@@ -13,10 +13,11 @@
 #include <vector>
 
 #include "phy/channel.h"
-#include "phy/phy_params.h"
 #include "phy/position.h"
+#include "phy/spatial_grid.h"
 #include "pkt/packet.h"
 #include "sim/inline_callback.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 

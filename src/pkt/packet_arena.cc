@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "pkt/packet.h"
 #include "sim/assert.h"
 
 namespace muzha {

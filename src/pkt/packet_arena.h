@@ -28,6 +28,7 @@
 #endif
 
 #include "pkt/packet.h"
+#include "sim/assert.h"
 
 namespace muzha {
 

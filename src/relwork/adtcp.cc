@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_variants.h"
+
 namespace muzha {
 
 AdtcpSink::AdtcpSink(Simulator& sim, Node& node, Config cfg,

@@ -23,6 +23,10 @@
 
 #include <deque>
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_variants.h"
 

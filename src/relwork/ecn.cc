@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#include "net/wireless_device.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_variants.h"
+
 namespace muzha {
 
 RedEcnMarker::RedEcnMarker(Simulator& sim, WirelessDevice& device,

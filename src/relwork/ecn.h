@@ -16,6 +16,8 @@
 
 #include "net/agent.h"
 #include "net/wireless_device.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "tcp/tcp_variants.h"
 

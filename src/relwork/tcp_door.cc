@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_variants.h"
+
 namespace muzha {
 
 TcpDoor::TcpDoor(Simulator& sim, Node& node, TcpConfig cfg, DoorConfig door)

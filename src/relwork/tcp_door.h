@@ -13,6 +13,12 @@
 //     before the event, restore the pre-decrease window state.
 #pragma once
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
 #include "tcp/tcp_variants.h"
 
 namespace muzha {

@@ -1,5 +1,12 @@
 #include "relwork/tcp_rovegas.h"
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_vegas.h"
+
 namespace muzha {
 
 TcpRoVegas::TcpRoVegas(Simulator& sim, Node& node, TcpConfig cfg,

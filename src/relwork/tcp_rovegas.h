@@ -13,6 +13,11 @@
 // which is immune to ACK-path queueing and delayed ACKs.
 #pragma once
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
 #include "tcp/tcp_vegas.h"
 
 namespace muzha {

@@ -2,6 +2,14 @@
 
 #include <algorithm>
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_variants.h"
+
 namespace muzha {
 
 TcpWestwood::TcpWestwood(Simulator& sim, Node& node, TcpConfig cfg,

@@ -11,6 +11,12 @@
 // router support at all.
 #pragma once
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
 #include "tcp/tcp_variants.h"
 
 namespace muzha {

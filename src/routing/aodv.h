@@ -19,8 +19,11 @@
 
 #include "net/node.h"
 #include "net/routing_protocol.h"
+#include "pkt/aodv_messages.h"
+#include "pkt/packet.h"
+#include "sim/scheduler.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
-#include "sim/timer.h"
 
 namespace muzha {
 

@@ -8,6 +8,7 @@
 
 #include "net/node.h"
 #include "net/routing_protocol.h"
+#include "pkt/packet.h"
 
 namespace muzha {
 

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "scenario/experiment.h"
+
 namespace muzha {
 
 std::vector<ExperimentResult> run_batch(

@@ -2,8 +2,15 @@
 
 #include <cmath>
 
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "scenario/batch_runner.h"
+#include "scenario/experiment.h"
+#include "scenario/network.h"
 #include "sim/assert.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -16,8 +16,13 @@
 
 #include <vector>
 
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "scenario/experiment.h"
 #include "scenario/network.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 

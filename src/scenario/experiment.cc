@@ -3,17 +3,29 @@
 #include <deque>
 
 #include "app/cbr.h"
+#include "core/tcp_muzha.h"
+#include "net/node.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "pkt/packet.h"
 #include "relwork/adtcp.h"
 #include "relwork/ecn.h"
 #include "relwork/tcp_door.h"
 #include "relwork/tcp_jersey.h"
 #include "relwork/tcp_rovegas.h"
 #include "relwork/tcp_westwood.h"
-#include "routing/static_routing.h"
 #include "scenario/city.h"
 #include "scenario/mobility.h"
+#include "scenario/network.h"
 #include "scenario/sharded_experiment.h"
 #include "sim/assert.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "stats/time_series.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_variants.h"
+#include "tcp/tcp_vegas.h"
 
 namespace muzha {
 

@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "core/drai.h"
-#include "core/tcp_muzha.h"
+#include "net/node.h"
 #include "relwork/ecn.h"
 #include "scenario/network.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
 #include "stats/time_series.h"
-#include "tcp/tcp_sink.h"
-#include "tcp/tcp_variants.h"
-#include "tcp/tcp_vegas.h"
+#include "tcp/tcp_agent.h"
 
 namespace muzha {
 

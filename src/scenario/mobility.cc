@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "phy/position.h"
+#include "sim/rng.h"
+#include "sim/units.h"
+
 namespace muzha {
 
 void RandomWaypointMobility::start() {

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "net/node.h"
+#include "phy/position.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 

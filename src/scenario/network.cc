@@ -1,9 +1,18 @@
 #include "scenario/network.h"
 
+#include "core/bandwidth_estimator.h"
+#include "core/drai.h"
+#include "net/node.h"
+#include "phy/channel.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "relwork/ecn.h"
 #include "routing/aodv.h"
 #include "routing/static_routing.h"
 #include "sim/assert.h"
+#include "sim/rng.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -6,9 +6,19 @@
 #include <vector>
 
 #include "core/bandwidth_estimator.h"
+#include "core/drai.h"
+#include "net/agent.h"
 #include "net/node.h"
 #include "phy/channel.h"
+#include "phy/error_model.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
+#include "relwork/ecn.h"
+#include "routing/static_routing.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -7,13 +7,28 @@
 #include <utility>
 
 #include "app/cbr.h"
+#include "core/tcp_muzha.h"
+#include "net/node.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "phy/phy_params.h"
+#include "phy/position.h"
+#include "pkt/packet.h"
 #include "relwork/adtcp.h"
-#include "routing/static_routing.h"
 #include "scenario/batch_runner.h"
 #include "scenario/city.h"
+#include "scenario/experiment.h"
 #include "scenario/mobility.h"
+#include "scenario/network.h"
 #include "sim/assert.h"
+#include "sim/rng.h"
 #include "sim/shard_exec.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "stats/time_series.h"
+#include "tcp/tcp_agent.h"
+#include "tcp/tcp_sink.h"
 
 namespace muzha {
 

@@ -35,9 +35,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "phy/position.h"
 #include "pkt/packet.h"
 #include "scenario/experiment.h"
 #include "sim/sim_time.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -1,5 +1,7 @@
 #include "sim/log.h"
 
+#include "sim/sim_time.h"
+
 namespace muzha {
 
 namespace {

@@ -1,5 +1,7 @@
 #include "sim/scheduler.h"
 
+#include "sim/assert.h"
+
 namespace muzha {
 
 std::uint32_t Scheduler::grow_pool() {

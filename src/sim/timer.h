@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "sim/assert.h"
+#include "sim/scheduler.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 
 namespace muzha {

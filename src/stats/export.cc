@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <set>
 
+#include "stats/time_series.h"
+
 namespace muzha {
 
 namespace {

@@ -1,5 +1,7 @@
 #include "stats/time_series.h"
 
+#include "sim/units.h"
+
 namespace muzha {
 
 double CwndTracer::value_at(Seconds t) const {

@@ -1,5 +1,8 @@
 #include "stats/trace_sinks.h"
 
+#include "net/trace.h"
+#include "pkt/packet.h"
+
 namespace muzha {
 
 std::size_t VectorTraceSink::count(TraceEventKind kind,

@@ -1,5 +1,7 @@
 #include "tcp/rto_estimator.h"
 
+#include "sim/sim_time.h"
+
 namespace muzha {
 
 void RtoEstimator::sample(SimTime rtt) {

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 
+#include "net/node.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
 
 namespace muzha {
 

@@ -1,6 +1,9 @@
 #include "tcp/tcp_sink.h"
 
+#include "net/node.h"
+#include "pkt/packet.h"
 #include "sim/assert.h"
+#include "sim/simulator.h"
 
 namespace muzha {
 

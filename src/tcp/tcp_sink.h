@@ -16,6 +16,8 @@
 
 #include "net/agent.h"
 #include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "sim/units.h"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "pkt/packet.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
+
 namespace muzha {
 
 // ---------------------------------------------------------------------------

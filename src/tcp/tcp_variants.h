@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "pkt/packet.h"
 #include "tcp/tcp_agent.h"
 
 namespace muzha {

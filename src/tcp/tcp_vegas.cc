@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+#include "tcp/tcp_agent.h"
+
 namespace muzha {
 
 TcpVegas::TcpVegas(Simulator& sim, Node& node, TcpConfig cfg,

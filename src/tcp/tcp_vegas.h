@@ -9,6 +9,10 @@
 // paper's long-chain results.
 #pragma once
 
+#include "net/node.h"
+#include "pkt/packet.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
 #include "tcp/tcp_agent.h"
 
 namespace muzha {

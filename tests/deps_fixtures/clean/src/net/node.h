@@ -1,0 +1,13 @@
+#pragma once
+
+#include "sim/clock.h"
+
+namespace muzha {
+class Node {
+ public:
+  explicit Node(Clock& clock) : clock_(clock) {}
+
+ private:
+  Clock& clock_;
+};
+}  // namespace muzha

@@ -1,0 +1,11 @@
+#include "net/node.h"
+#include "sim/clock.h"
+
+namespace muzha {
+int build_world() {
+  Clock clock;
+  Node node(clock);
+  (void)node;
+  return static_cast<int>(clock.now());
+}
+}  // namespace muzha

@@ -1,0 +1,12 @@
+// A correctly layered tree: zero findings (false-positive guard).
+#pragma once
+
+namespace muzha {
+class Clock {
+ public:
+  long now() const { return t_; }
+
+ private:
+  long t_ = 0;
+};
+}  // namespace muzha

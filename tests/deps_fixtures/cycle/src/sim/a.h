@@ -1,0 +1,10 @@
+#pragma once
+
+#include "sim/b.h"  // expect: include-cycle
+
+namespace muzha {
+class A {
+ public:
+  B* b = nullptr;
+};
+}  // namespace muzha

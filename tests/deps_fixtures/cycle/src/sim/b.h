@@ -1,0 +1,10 @@
+#pragma once
+
+#include "sim/a.h"  // expect: include-cycle
+
+namespace muzha {
+class B {
+ public:
+  A* a = nullptr;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+// A self-include is the degenerate one-file cycle.
+#pragma once
+
+#include "sim/c.h"  // expect: include-cycle
+
+namespace muzha {
+class C {};
+}  // namespace muzha

@@ -1,0 +1,12 @@
+// A forward declaration is the sanctioned way to name a type without
+// including its header: no missing-direct-include here.
+#pragma once
+
+namespace muzha {
+class Ticker;
+
+class TickerRef {
+ public:
+  Ticker* ticker = nullptr;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#include "net/relay.h"
+
+namespace muzha {
+long poll(Relay& relay) {
+  Ticker& t = relay.ticker;  // expect: missing-direct-include
+  return ++t.ticks;
+}
+}  // namespace muzha

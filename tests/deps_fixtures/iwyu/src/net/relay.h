@@ -1,0 +1,11 @@
+#pragma once
+
+#include "sim/extras.h"  // expect: unused-include
+#include "sim/types.h"
+
+namespace muzha {
+class Relay {
+ public:
+  Ticker ticker;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Extra {
+ public:
+  int spare = 0;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Ticker {
+ public:
+  long ticks = 0;
+};
+}  // namespace muzha

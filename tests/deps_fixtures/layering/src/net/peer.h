@@ -1,0 +1,11 @@
+// Downward in [layers].order but absent from [edges].net: still a violation.
+#pragma once
+
+#include "pkt/frame.h"  // expect: layer-violation
+
+namespace muzha {
+class Peer {
+ public:
+  Frame last;
+};
+}  // namespace muzha

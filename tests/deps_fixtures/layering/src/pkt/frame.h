@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Frame {
+ public:
+  int bytes = 0;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Setup {
+ public:
+  int flows = 1;
+};
+}  // namespace muzha

@@ -1,0 +1,11 @@
+// The canonical inversion: the bottom layer reaching for the top one.
+#pragma once
+
+#include "scenario/setup.h"  // expect: layer-violation
+
+namespace muzha {
+class Engine {
+ public:
+  Setup* setup = nullptr;
+};
+}  // namespace muzha

@@ -1,0 +1,11 @@
+// net -> phy is an allowed edge, but grid_impl.h is phy-private.
+#pragma once
+
+#include "phy/grid_impl.h"  // expect: private-header-escape
+
+namespace muzha {
+class Probe {
+ public:
+  GridImpl* grid = nullptr;
+};
+}  // namespace muzha

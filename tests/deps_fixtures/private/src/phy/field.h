@@ -1,0 +1,11 @@
+// Same-layer use of a private header is fine.
+#pragma once
+
+#include "phy/grid_impl.h"
+
+namespace muzha {
+class Field {
+ public:
+  GridImpl grid;
+};
+}  // namespace muzha

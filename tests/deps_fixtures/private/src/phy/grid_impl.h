@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class GridImpl {
+ public:
+  int cells = 0;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Cond2 {
+ public:
+  int poisoned = 0;
+};
+}  // namespace muzha

@@ -1,0 +1,13 @@
+// Quoted-include semantics: "params.h" resolves against the including
+// file's directory FIRST, so this is net/params.h, not sim/params.h —
+// if resolution picked the wrong one, unused-include would fire here.
+#pragma once
+
+#include "params.h"
+
+namespace muzha {
+class Local {
+ public:
+  NetParams params;
+};
+}  // namespace muzha

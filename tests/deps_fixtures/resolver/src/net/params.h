@@ -1,0 +1,9 @@
+// Same basename as sim/params.h, different layer.
+#pragma once
+
+namespace muzha {
+class NetParams {
+ public:
+  int queue = 50;
+};
+}  // namespace muzha

@@ -1,0 +1,18 @@
+// An #include spelled inside a comment or a raw string literal is never an
+// edge: if the lexer leaked either, the scenario/ target would make this a
+// layer-violation. The digit separator below once broke the lexer's char-
+// literal state (100'000), blanking the rest of the file.
+#pragma once
+
+// #include "scenario/evil.h"
+
+namespace muzha {
+inline const char* kUsage = R"(
+#include "scenario/evil.h"
+)";
+
+class Strings {
+ public:
+  long budget = 100'000;
+};
+}  // namespace muzha

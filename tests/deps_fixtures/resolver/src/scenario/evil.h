@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Evil {
+ public:
+  int x = 0;
+};
+}  // namespace muzha

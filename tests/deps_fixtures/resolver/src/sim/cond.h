@@ -1,0 +1,17 @@
+// A conditional include is part of the graph: the include graph is the
+// union over preprocessor configurations, so hiding an inversion behind
+// #ifdef MUZHA_SANITIZED does not excuse it.
+#pragma once
+
+#ifdef MUZHA_SANITIZED
+#include "net/cond2.h"  // expect: layer-violation
+#endif
+
+namespace muzha {
+class Cond {
+ public:
+#ifdef MUZHA_SANITIZED
+  Cond2* c2 = nullptr;
+#endif
+};
+}  // namespace muzha

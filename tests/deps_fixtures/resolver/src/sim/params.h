@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class SimParams {
+ public:
+  long seed = 0;
+};
+}  // namespace muzha

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace muzha {
+class Top {
+ public:
+  int id = 0;
+};
+}  // namespace muzha

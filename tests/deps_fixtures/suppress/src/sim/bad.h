@@ -1,0 +1,11 @@
+#pragma once
+
+// muzha-deps: allow(layer-violation): fixture proves a justified suppression silences the finding
+#include "scenario/top.h"
+
+namespace muzha {
+class Bad {
+ public:
+  Top* top = nullptr;
+};
+}  // namespace muzha

@@ -1,0 +1,10 @@
+// The three meta findings: each suppression below is itself defective.
+#pragma once
+
+// muzha-deps: allow(layer-violation)  expect: bad-suppression
+// muzha-deps: allow(no-such-rule): names a rule that does not exist  expect: unknown-rule
+// muzha-deps: allow(include-cycle): nothing in this file cycles  expect: unused-suppression
+
+namespace muzha {
+class Meta {};
+}  // namespace muzha

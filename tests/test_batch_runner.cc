@@ -12,6 +12,7 @@ namespace {
 
 using muzha::testing::expect_results_identical;
 
+// muzha-lint: allow(raw-unit-double): test-matrix convenience parameter, converted to SimTime on the next line
 ExperimentConfig chain_point(TcpVariant v, int hops, double duration_s) {
   ExperimentConfig cfg;
   cfg.hops = hops;

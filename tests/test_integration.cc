@@ -8,6 +8,7 @@ namespace muzha {
 namespace {
 
 ExperimentConfig single_flow(TcpVariant v, int hops, int window,
+                             // muzha-lint: allow(raw-unit-double): test-matrix convenience parameter, converted to SimTime below
                              double duration_s, std::uint64_t seed = 1) {
   ExperimentConfig cfg;
   cfg.hops = hops;

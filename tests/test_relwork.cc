@@ -267,6 +267,7 @@ class JerseyHarness : public TcpHarness<TcpJersey> {
     return cfg;
   }
   // Acks segment `s` with a realistic timestamp echo so min-RTT is known.
+  // muzha-lint: allow(raw-unit-double): harness helper takes RTT-literal seconds, converted to SimTime inside
   void ack_rtt(std::int64_t s, double rtt_s, bool ce = false) {
     agent().receive(make_ack_with(s, [&](TcpHeader& h) {
       h.ts_echo = sim().now() - SimTime::from_seconds(rtt_s);
@@ -347,6 +348,7 @@ class RoVegasHarness : public TcpHarness<TcpRoVegas> {
     cfg.window = 64;
     return cfg;
   }
+  // muzha-lint: allow(raw-unit-double): harness helper takes RTT/qdelay-literal seconds, converted to SimTime inside
   void ack_full(std::int64_t s, double rtt_s, double fwd_qdelay_s) {
     agent().receive(make_ack_with(s, [&](TcpHeader& h) {
       h.ts_echo = sim().now() - SimTime::from_seconds(rtt_s);
@@ -403,6 +405,7 @@ class WestwoodHarness : public TcpHarness<TcpWestwood> {
     cfg.window = 32;
     return cfg;
   }
+  // muzha-lint: allow(raw-unit-double): harness helper takes RTT-literal seconds, converted to SimTime inside
   void ack_rtt(std::int64_t s, double rtt_s) {
     agent().receive(make_ack_with(s, [&](TcpHeader& h) {
       h.ts_echo = sim().now() - SimTime::from_seconds(rtt_s);

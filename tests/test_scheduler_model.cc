@@ -80,6 +80,7 @@ class ReferenceScheduler {
 
  private:
   void erase_handle_of(const Key& key) {
+    // muzha-lint: allow(unordered-iter): linear search for the unique matching value; exactly one entry matches, so visit order cannot affect the result
     for (auto it = by_handle_.begin(); it != by_handle_.end(); ++it) {
       if (it->second == key) {
         by_handle_.erase(it);

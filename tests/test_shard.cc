@@ -333,6 +333,7 @@ TEST(ShardDeterminism, FourShardsJobsInvariant) {
 // coupling for gap < 550), one flow inside each cluster. The static-field
 // partitioner cuts in the gap; every transmission near the boundary ships
 // to the other shard and interferes there.
+// muzha-lint: allow(raw-unit-double): test-matrix convenience parameter, converted to Meters below
 ExperimentConfig coupled_clusters(std::uint64_t seed, double gap_m,
                                   SimTime duration) {
   ExperimentConfig cfg;

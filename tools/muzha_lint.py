@@ -284,6 +284,15 @@ def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
                 i += 1
                 continue
             if c == "'":
+                # C++14 digit separator (1'000'000, 0xFF'FF): a quote between
+                # digit-ish characters is not a char literal. (A u8'F' char
+                # literal is misread as a separator — accepted precision
+                # limit; none appear in the tree.)
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isdigit() and (nxt.isdigit() or nxt in "abcdefABCDEF"):
+                    cur_code.append("'")
+                    i += 1
+                    continue
                 cur_code.append("'")
                 state = "squote"
                 i += 1
@@ -864,7 +873,9 @@ def collect_files(root: str, paths: list[str]) -> list[str]:
             files.append(full)
         else:
             for dirpath, dirnames, filenames in os.walk(full):
-                dirnames[:] = sorted(d for d in dirnames if d != "lint_fixtures")
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("lint_fixtures", "deps_fixtures"))
                 for fn in sorted(filenames):
                     if fn.endswith(CXX_EXTENSIONS):
                         files.append(os.path.join(dirpath, fn))
@@ -895,7 +906,8 @@ def github_annotation(f: Finding) -> str:
 
 
 def main(argv: list[str]) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    doc = __doc__ or ""
+    ap = argparse.ArgumentParser(description=doc.splitlines()[0])
     ap.add_argument("--root", default=".", help="repository root (default: cwd)")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--github", action="store_true",

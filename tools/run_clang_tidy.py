@@ -15,7 +15,9 @@ driver turns the run into a ratchet against a committed baseline:
   * baseline pairs that no longer occur are STALE: reported as advisory
     notes (exit stays 0) so a fixed finding or a changed clang version
     never turns CI red on its own — refresh with --update-baseline when
-    convenient;
+    convenient. Under --github the stale count is additionally emitted as
+    a `::warning` workflow annotation so staleness stays visible on every
+    PR instead of silently accumulating;
   * `error:` severity diagnostics (real compile failures, not style) fail
     the run regardless of the baseline.
 
@@ -38,11 +40,14 @@ compile errors, 2 usage/environment error.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import os
 import re
 import shutil
 import subprocess
 import sys
+import tempfile
 
 DEFAULT_BASELINE = os.path.join("tools", "clang_tidy_baseline.txt")
 
@@ -67,7 +72,8 @@ def default_sources(root: str) -> list[str]:
     return files
 
 
-def parse_diagnostics(text: str, root: str):
+def parse_diagnostics(
+        text: str, root: str) -> tuple[set[tuple[str, str]], list[str]]:
     """Returns (pairs, errors): normalized (relpath, check) findings and a
     list of hard-error lines. Duplicate (file, check) occurrences collapse —
     the ratchet is per file per check, not per line."""
@@ -120,7 +126,8 @@ def write_baseline(path: str, pairs: set[tuple[str, str]]) -> None:
             f.write(f"{rel} {check}\n")
 
 
-def ratchet(pairs, errors, baseline, github: bool) -> int:
+def ratchet(pairs: set[tuple[str, str]], errors: list[str],
+            baseline: set[tuple[str, str]], github: bool) -> int:
     rc = 0
     if errors:
         print(f"run-clang-tidy: {len(errors)} hard error(s):")
@@ -140,6 +147,10 @@ def ratchet(pairs, errors, baseline, github: bool) -> int:
     for rel, check in stale:
         print(f"STALE {rel}: [{check}] in baseline but no longer reported "
               "(advisory — refresh the baseline when convenient)")
+    if stale and github:
+        print(f"::warning title=clang-tidy baseline::{len(stale)} stale "
+              f"baseline entr{'y' if len(stale) == 1 else 'ies'} — run "
+              "tools/run_clang_tidy.py -p build --update-baseline to prune")
     if new:
         rc = 1
     if rc == 0:
@@ -172,6 +183,14 @@ def self_test() -> int:
     assert ratchet(pairs | {("src/net/trace.cc", "concurrency-mt-unsafe")},
                    [], baseline, github=False) == 1
 
+    # Stale entries stay advisory (exit 0) but surface as a ::warning
+    # annotation under --github so staleness cannot silently accumulate.
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        assert ratchet(pairs, [], baseline, github=True) == 0
+    assert ("::warning title=clang-tidy baseline::1 stale baseline entry"
+            in buf.getvalue()), buf.getvalue()
+
     # Hard errors fail even when every pair is baselined.
     _, errs = parse_diagnostics(
         "src/sim/log.cc:3:1: error: unknown type name 'Foo'", root)
@@ -184,18 +203,19 @@ def self_test() -> int:
     assert p2 == {("src/a.cc", "bugprone-a"), ("src/a.cc", "performance-b")}
 
     # Baseline round-trip.
-    import tempfile
     with tempfile.TemporaryDirectory() as d:
         path = os.path.join(d, "baseline.txt")
         write_baseline(path, pairs)
         assert load_baseline(path) == pairs
     print("run-clang-tidy self-test OK: parse, dedup, system-header drop, "
-          "ratchet pass/fail, hard errors, baseline round-trip")
+          "ratchet pass/fail, stale-count annotation, hard errors, "
+          "baseline round-trip")
     return 0
 
 
 def main(argv: list[str]) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    doc = __doc__ or ""
+    ap = argparse.ArgumentParser(description=doc.splitlines()[0])
     ap.add_argument("-p", "--build-dir", default="build",
                     help="build dir with compile_commands.json")
     ap.add_argument("--baseline", default=None,
